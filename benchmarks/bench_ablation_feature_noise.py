@@ -1,0 +1,67 @@
+"""Section 2.2 claims: lower feature accuracy and small noise are cheap.
+
+The paper: "we can likely decrease the feature accuracy without affecting
+the learning results.  In fact, it has been shown that adding small amounts
+of noise can actually be helpful in learning more robust models."
+
+We train on (a) full-precision features, (b) features quantised to 8/4/2
+significand bits, and (c) features with small multiplicative noise, and
+compare eval prediction error.
+
+Expected shape: 8- and 4-bit quantisation and mild noise cost almost no
+accuracy; very aggressive quantisation (2 bits) degrades more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import report, table
+
+from repro.core import LFOModel, error_rates
+from repro.features import Dataset, add_relative_noise, quantize_features
+from repro.gbdt import GBDTParams
+
+
+def run_ablation(acc_windows):
+    variants = {
+        "full precision": lambda X: X,
+        "8-bit features": lambda X: quantize_features(X, 8),
+        "4-bit features": lambda X: quantize_features(X, 4),
+        "2-bit features": lambda X: quantize_features(X, 2),
+        "noise 1%": lambda X: add_relative_noise(
+            X, 0.01, np.random.default_rng(7)
+        ),
+        "noise 10%": lambda X: add_relative_noise(
+            X, 0.10, np.random.default_rng(7)
+        ),
+    }
+    results = {}
+    for name, transform in variants.items():
+        train = Dataset(
+            transform(acc_windows.train.X), acc_windows.train.y,
+            acc_windows.train.names,
+        )
+        model = LFOModel.train(train, params=GBDTParams(num_iterations=30))
+        # Evaluation features go through the same (deployed) transform.
+        test_X = transform(acc_windows.test.X)
+        likelihoods = model.likelihood(test_X)
+        error, _, _ = error_rates(likelihoods, acc_windows.test.y, 0.5)
+        results[name] = error
+    return results
+
+
+def test_feature_noise(benchmark, acc_windows):
+    errors = benchmark.pedantic(
+        run_ablation, args=(acc_windows,), rounds=1, iterations=1
+    )
+    rows = [[name, err * 100] for name, err in errors.items()]
+    report("ablation_feature_noise", table(["variant", "error%"], rows))
+
+    base = errors["full precision"]
+    # Moderate quantisation is nearly free (the paper's storage argument).
+    assert errors["8-bit features"] < base + 0.01
+    assert errors["4-bit features"] < base + 0.02
+    # Mild noise is harmless.
+    assert errors["noise 1%"] < base + 0.02
+    # Aggressive quantisation costs at least as much as moderate.
+    assert errors["2-bit features"] >= errors["8-bit features"] - 0.01

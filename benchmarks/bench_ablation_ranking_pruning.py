@@ -1,0 +1,73 @@
+"""Section 2.1 claim: ranking-axis pruning saves ~90% of OPT calculation.
+
+The paper proposes splitting requests along a *ranking* axis
+(``C_i / (S_i * L_i)``) instead of the time axis, solving the min-cost flow
+only for the top-ranked requests.  We sweep the keep fraction and measure
+(a) solve time relative to the full exact solve, and (b) agreement /
+admission recall of the resulting labels.
+
+Expected shape: time falls steeply with the keep fraction while recall of
+OPT's admissions stays high at moderate fractions — because the requests
+OPT admits are exactly the highly-ranked (short-reuse-distance) ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import accuracy_trace, cache_for, report, table
+
+from repro.opt import solve_opt, solve_pruned
+
+FRACTIONS = [0.1, 0.25, 0.5, 0.75]
+N_REQUESTS = 5_000
+
+
+def run_ablation():
+    trace = accuracy_trace(N_REQUESTS)
+    cache_size = cache_for(trace, 10)
+
+    t0 = time.perf_counter()
+    exact = solve_opt(trace, cache_size)
+    exact_time = time.perf_counter() - t0
+
+    rows = []
+    stats = {}
+    for fraction in FRACTIONS:
+        t0 = time.perf_counter()
+        pruned = solve_pruned(trace, cache_size, keep_fraction=fraction)
+        elapsed = time.perf_counter() - t0
+        agreement = float((pruned.decisions == exact.decisions).mean())
+        admitted = exact.decisions
+        recall = float(
+            (pruned.decisions & admitted).sum() / max(1, admitted.sum())
+        )
+        rows.append(
+            [fraction, elapsed, elapsed / exact_time, agreement, recall]
+        )
+        stats[fraction] = (elapsed, agreement, recall)
+    return exact_time, rows, stats
+
+
+def test_ranking_pruning_saves_time(benchmark):
+    exact_time, rows, stats = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    report(
+        "ablation_ranking_pruning",
+        f"exact solve: {exact_time:.2f}s on {N_REQUESTS} requests\n"
+        + table(
+            ["keep", "time_s", "time/exact", "agreement", "admit recall"],
+            rows,
+        ),
+    )
+    # The paper's headline: a small keep fraction saves ~90% of the time.
+    elapsed_10, _, _ = stats[0.1]
+    assert elapsed_10 < 0.25 * exact_time, "pruning must save most solve time"
+    # Time grows with the keep fraction.
+    times = [stats[f][0] for f in FRACTIONS]
+    assert times[0] < times[-1]
+    # Label quality grows with the keep fraction.
+    recalls = [stats[f][2] for f in FRACTIONS]
+    assert recalls[-1] > recalls[0]
+    assert stats[0.75][1] > 0.85, "3/4 keep fraction must agree closely"

@@ -1,0 +1,57 @@
+"""Ablation: the training-window size ``W`` (the paper's Figure 2 knob).
+
+The paper retrains on 1M-request windows.  The window trades off label
+quality and sample count (bigger is better) against adaptation lag and
+cold-start time (smaller is better).  We sweep W on the standard CDN mix
+and report online BHR and retrain counts.
+
+Expected shape: tiny windows underperform (weak models, noisy labels);
+performance rises and then flattens — at our trace length very large
+windows start to lose again because fewer retrains happen within the
+horizon.
+"""
+
+from __future__ import annotations
+
+from common import cache_for, cdn_mix_trace, report, table
+
+from repro.core import LFOOnline, OptLabelConfig
+from repro.sim import simulate
+
+WINDOWS = [1_000, 2_500, 5_000, 10_000]
+WARMUP = 1 / 3
+
+
+def run_sweep(n_requests: int = 30_000):
+    trace = cdn_mix_trace(n_requests)
+    cache_size = cache_for(trace, 12)
+    results = {}
+    for window in WINDOWS:
+        lfo = LFOOnline(
+            cache_size,
+            window=window,
+            label_config=OptLabelConfig(
+                mode="segmented",
+                segment_length=min(1_250, max(250, window // 4)),
+            ),
+        )
+        sim = simulate(trace, lfo, warmup_fraction=WARMUP)
+        results[window] = (sim.bhr, lfo.n_retrains)
+    return results
+
+
+def test_window_size(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        [window, bhr, retrains]
+        for window, (bhr, retrains) in results.items()
+    ]
+    report("ablation_window_size", table(["window", "BHR", "retrains"], rows))
+
+    bhr = {w: r[0] for w, r in results.items()}
+    best = max(bhr.values())
+    # The sweet spot is an interior window, or at least the tiny window is
+    # not the best configuration.
+    assert bhr[1_000] < best
+    # All configurations stay in a sane band (the system never collapses).
+    assert min(bhr.values()) > 0.5 * best

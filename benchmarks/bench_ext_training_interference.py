@@ -1,0 +1,73 @@
+"""Extension experiment: training/serving interference (Fig. 7 remark).
+
+The paper: "a production implementation would need to carefully optimize
+priorities such that training tasks do not interfere with the request
+traffic."  We quantify that with the queueing model of
+:mod:`repro.sim.server`: periodic training jobs either share the FIFO queue
+with requests or run strictly backgrounded, across a load sweep.
+
+Expected shape: under FIFO, request p99 latency explodes once a training
+job can starve the workers; under strict priorities the p99 stays at the
+no-training baseline while training completion is only modestly delayed.
+"""
+
+from __future__ import annotations
+
+from common import report, table
+
+from repro.sim import ServerConfig, simulate_server
+
+LOADS = [0.4, 0.6, 0.8]
+CAPACITY = 2_000.0  # 2 workers x 1 ms predictions
+
+
+def run_sweep():
+    rows = []
+    stats = {}
+    for load in LOADS:
+        common = dict(
+            arrival_rate=load * CAPACITY,
+            n_workers=2,
+            prediction_time=1e-3,
+            training_time=1.0,
+            window=5_000,
+            n_requests=30_000,
+        )
+        baseline = simulate_server(
+            ServerConfig(discipline="fifo", window=0, **{
+                k: v for k, v in common.items() if k != "window"
+            })
+        )
+        fifo = simulate_server(ServerConfig(discipline="fifo", **common))
+        prio = simulate_server(ServerConfig(discipline="priority", **common))
+        rows.append([
+            f"{load:.0%}",
+            baseline.p99_latency * 1e3,
+            fifo.p99_latency * 1e3,
+            prio.p99_latency * 1e3,
+            prio.max_training_delay,
+        ])
+        stats[load] = (baseline, fifo, prio)
+    return rows, stats
+
+
+def test_training_interference(benchmark):
+    rows, stats = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "ext_training_interference",
+        table(
+            [
+                "load", "p99 ms (no train)", "p99 ms (fifo)",
+                "p99 ms (priority)", "train delay s",
+            ],
+            rows,
+        ),
+    )
+    for load, (baseline, fifo, prio) in stats.items():
+        # Priorities keep the request tail at the no-training baseline.
+        assert prio.p99_latency <= baseline.p99_latency * 1.05 + 1e-4
+        # Training still completes in bounded time.
+        assert prio.max_training_delay < 120.0
+    # At high load, FIFO-shared training visibly hurts the tail.
+    _, fifo_hi, prio_hi = stats[0.8]
+    assert fifo_hi.p99_latency > 5 * prio_hi.p99_latency

@@ -1,0 +1,64 @@
+"""Figure 5a: false positive / false negative rates vs likelihood cutoff.
+
+Paper's result: both error rates are roughly stable for cutoffs between
+0.25 and 0.75; below 0.25 the false-negative... (note: the paper's text has
+FP/FN conventions such that below 0.25 one rate blows up and above 0.75 the
+other does); LFO is biased toward admitting (more false positives than
+false negatives at 0.5), and FP = FN near cutoff ~0.65.
+
+Expected shape: FP monotonically falls with the cutoff, FN rises; a wide
+plateau in total error between ~0.25 and ~0.75; the crossing sits between
+0.5 and 0.9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import report, table
+
+from repro.core import cutoff_sweep, equal_error_cutoff
+from repro.viz import line_chart
+
+
+def test_fig5a_cutoff_sweep(benchmark, acc_report):
+    sweep = benchmark.pedantic(
+        cutoff_sweep,
+        args=(acc_report.likelihoods, acc_report.labels),
+        kwargs={"cutoffs": np.linspace(0.0, 1.0, 21)},
+        rounds=1,
+        iterations=1,
+    )
+    eq = equal_error_cutoff(acc_report.likelihoods, acc_report.labels)
+    rows = [
+        [f"{c:.2f}", fp * 100, fn * 100, (fp + fn) * 100]
+        for c, fp, fn in zip(
+            sweep.cutoffs, sweep.false_positive, sweep.false_negative
+        )
+    ]
+    report(
+        "fig5a_cutoff",
+        table(["cutoff", "FP%", "FN%", "error%"], rows)
+        + f"\nequal-error cutoff: {eq:.2f} (paper: ~0.65)\n\n"
+        + line_chart(
+            sweep.cutoffs,
+            {
+                "positive (FP)": sweep.false_positive * 100,
+                "negative (FN)": sweep.false_negative * 100,
+            },
+            x_label="cutoff",
+            y_label="error %",
+        ),
+    )
+
+    # Shape assertions.
+    assert (np.diff(sweep.false_positive) <= 1e-12).all(), "FP must fall"
+    assert (np.diff(sweep.false_negative) >= -1e-12).all(), "FN must rise"
+    # Plateau: total error varies little between cutoff 0.3 and 0.7 ...
+    mid = (sweep.cutoffs >= 0.3) & (sweep.cutoffs <= 0.7)
+    plateau = sweep.prediction_error[mid]
+    assert plateau.max() - plateau.min() < 0.10
+    # ... and explodes at the extremes relative to the plateau.
+    extreme = max(
+        sweep.prediction_error[0], sweep.prediction_error[-1]
+    )
+    assert extreme > plateau.mean() * 1.5

@@ -1,0 +1,69 @@
+"""Figure 5b: prediction error vs number of training samples.
+
+Paper's result: the error is below 6.5% even with ~10K samples, decays
+slightly until ~100K, and its *variance* shrinks as the training set grows
+("prediction accuracy becomes more predictable").
+
+Scaled to this repo's window sizes: we sweep training subsets from 250 to
+8000 samples of the shared accuracy window.  Expected shape: error falls
+(or stays flat) with sample count; the spread across repeated subsets
+shrinks; the largest training set is within a small margin of the best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import report, table
+
+from repro.core import train_and_evaluate
+from repro.gbdt import GBDTParams
+from repro.viz import line_chart
+
+SIZES = [250, 500, 1_000, 2_000, 4_000, 8_000]
+REPEATS = 5
+
+
+def run_sweep(acc_windows) -> dict[int, list[float]]:
+    rng = np.random.default_rng(0)
+    n_train = len(acc_windows.train)
+    errors: dict[int, list[float]] = {}
+    for size in SIZES:
+        errors[size] = []
+        repeats = 1 if size == n_train else REPEATS
+        for _ in range(repeats):
+            subset = rng.choice(n_train, size=size, replace=False)
+            rep = train_and_evaluate(
+                acc_windows,
+                params=GBDTParams(num_iterations=30),
+                train_subset=np.sort(subset),
+            )
+            errors[size].append(rep.prediction_error)
+    return errors
+
+
+def test_fig5b_training_size(benchmark, acc_windows):
+    errors = benchmark.pedantic(
+        run_sweep, args=(acc_windows,), rounds=1, iterations=1
+    )
+    rows = []
+    for size in SIZES:
+        e = np.array(errors[size])
+        rows.append([size, float(e.mean()) * 100, float(e.std()) * 100])
+    means_curve = [float(np.mean(errors[s])) * 100 for s in SIZES]
+    report(
+        "fig5b_training_size",
+        table(["samples", "error% (mean)", "error% (std)"], rows)
+        + "\n\n"
+        + line_chart(
+            np.log10(SIZES), {"error": means_curve},
+            x_label="log10(samples)", y_label="error %",
+        ),
+    )
+
+    means = {s: float(np.mean(errors[s])) for s in SIZES}
+    # Error decays with training data: the largest set beats the smallest.
+    assert means[SIZES[-1]] < means[SIZES[0]]
+    # And stabilises: the two largest sets are close to each other.
+    assert abs(means[SIZES[-1]] - means[SIZES[-2]]) < 0.03
+    # Variance shrinks as the paper reports.
+    assert np.std(errors[SIZES[0]]) >= np.std(errors[SIZES[-2]]) - 1e-9

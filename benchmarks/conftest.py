@@ -1,0 +1,45 @@
+"""Benchmark-suite pytest configuration.
+
+Expensive fixtures (the shared trace, featurised windows, a trained model)
+are module-scoped or session-scoped so each figure's benchmark pays only
+for what it measures.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import accuracy_trace, cache_for  # noqa: E402
+
+from repro.core import OptLabelConfig, prepare_windows, train_and_evaluate
+
+
+@pytest.fixture(scope="session")
+def acc_trace():
+    """Shared trace for the accuracy experiments (Figs 5a-c, 8)."""
+    return accuracy_trace()
+
+
+@pytest.fixture(scope="session")
+def acc_cache(acc_trace):
+    return cache_for(acc_trace, 12)
+
+
+@pytest.fixture(scope="session")
+def acc_windows(acc_trace, acc_cache):
+    """Featurised + labelled train/eval windows (8K + 8K requests)."""
+    return prepare_windows(
+        acc_trace, acc_cache, train_size=8_000, test_size=8_000,
+        label_config=OptLabelConfig(mode="segmented", segment_length=1_000),
+    )
+
+
+@pytest.fixture(scope="session")
+def acc_report(acc_windows):
+    """A model trained with the paper's defaults plus its eval predictions."""
+    return train_and_evaluate(acc_windows)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cache provisioning across tenants with hit-ratio curves (paper §5).
+
+The discussion section argues the learning approach extends "across many
+servers and CDN points-of-presence", pointing at footprint-descriptor-style
+provisioning models.  This example builds the core of such a model:
+
+1. compute exact LRU hit-ratio curves for two tenants with very different
+   locality (a hot web tenant vs a cold photo-archive tenant),
+2. provision a shared byte budget by greedy marginal gain,
+3. verify the provisioned split beats an even split in *simulation*.
+
+Run:  python examples/cache_provisioning.py
+"""
+
+from repro.cache import LRUCache
+from repro.sim import lru_hit_ratio_curve, partition_cache, simulate
+from repro.trace import SyntheticConfig, generate_trace
+from repro.viz import sparkline
+
+
+def main() -> None:
+    hot = generate_trace(
+        SyntheticConfig(
+            n_requests=12_000, n_objects=400, alpha=1.2,
+            size_median=50, size_sigma=0.6, size_max=1_000, seed=1,
+        )
+    )
+    cold = generate_trace(
+        SyntheticConfig(
+            n_requests=12_000, n_objects=8_000, alpha=0.3,
+            size_median=50, size_sigma=0.6, size_max=1_000, seed=2,
+        )
+    )
+    budget = 12_000
+
+    curves = [lru_hit_ratio_curve(hot), lru_hit_ratio_curve(cold)]
+    print("hit-ratio curves (BHR vs cache size):")
+    for name, curve in zip(("hot", "cold"), curves):
+        print(f"  {name:<5} {sparkline(curve.bhr)}  "
+              f"max BHR {curve.bhr[-1]:.3f}")
+
+    alloc = partition_cache(curves, demands=[1.0, 1.0], total_bytes=budget)
+    print(f"\nbudget {budget} bytes -> hot {alloc[0]}, cold {alloc[1]}")
+
+    def measure(split):
+        bhr_hot = simulate(hot, LRUCache(max(split[0], 1))).bhr
+        bhr_cold = simulate(cold, LRUCache(max(split[1], 1))).bhr
+        return bhr_hot, bhr_cold
+
+    for label, split in (
+        ("provisioned", alloc),
+        ("even split", [budget // 2, budget // 2]),
+    ):
+        bhr_hot, bhr_cold = measure(split)
+        print(
+            f"{label:<12} hot BHR {bhr_hot:.4f}  cold BHR {bhr_cold:.4f}  "
+            f"combined {(bhr_hot + bhr_cold) / 2:.4f}"
+        )
+    print(
+        "\nthe marginal-gain allocation starves the cold tenant (its curve"
+        "\nis flat) and converts the space into hot-tenant hits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Figure 7's production arithmetic, live on this machine.
+
+Trains a small LFO model, measures batch prediction throughput across
+worker processes, and translates the rates into the link bandwidth a CDN
+server could keep busy at different mean object sizes — the calculation
+behind the paper's "two threads for a 40 Gbit/s link at 32KB objects,
+all 44 threads for 500B objects".
+
+Run:  python examples/throughput_demo.py
+"""
+
+import os
+
+from repro import OptLabelConfig, SyntheticConfig, generate_trace
+from repro.core import (
+    gbits_served,
+    measure_throughput,
+    prepare_windows,
+    train_and_evaluate,
+)
+
+
+def main() -> None:
+    trace = generate_trace(
+        SyntheticConfig(
+            n_requests=8_000, n_objects=1_500, alpha=1.0,
+            size_median=40, size_sigma=1.0, size_max=2_000, seed=5,
+        )
+    )
+    cache_size = trace.footprint() // 10
+    windows = prepare_windows(
+        trace, cache_size, train_size=4_000, test_size=4_000,
+        label_config=OptLabelConfig(mode="greedy"),
+    )
+    report = train_and_evaluate(windows)
+    model = report.model
+    print(f"model: {len(model.classifier.trees)} trees, "
+          f"eval accuracy {report.accuracy:.1%}\n")
+
+    print(f"{'workers':>7} {'req/s':>10} {'Gbit/s @32KB':>13} {'Gbit/s @500B':>13}")
+    for workers in (1, 2, 4):
+        point = measure_throughput(
+            model, windows.test.X, threads=workers, min_duration=0.5,
+        )
+        print(
+            f"{workers:>7} {int(point.requests_per_second):>10} "
+            f"{gbits_served(point.requests_per_second, 32_000):>13.1f} "
+            f"{gbits_served(point.requests_per_second, 500):>13.2f}"
+        )
+    print(f"\nhost cores: {os.cpu_count()}")
+    print("the paper's point survives the substrate change: at 32KB mean")
+    print("object size a couple of workers saturate a 40 Gbit/s link, while")
+    print("tiny 500B objects need every core you have.")
+
+
+if __name__ == "__main__":
+    main()

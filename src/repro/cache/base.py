@@ -1,0 +1,114 @@
+"""Cache policy interface and shared machinery.
+
+Every policy manages a byte-budgeted object store and answers one question
+per request: *was this a hit, and if not, do we admit (and who do we
+evict)?*  Policies override the admission/eviction hooks; the bookkeeping
+(resident set, byte accounting, hit counting) lives here so policy code
+stays small — the paper makes a point of its whole LFO policy fitting in 50
+simulator lines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..trace import Request
+
+__all__ = ["CachePolicy"]
+
+
+class CachePolicy(ABC):
+    """Abstract cache with byte capacity, admission, and eviction.
+
+    Subclasses implement :meth:`_on_hit`, :meth:`_admit` and
+    :meth:`_select_victim`; the base class drives them from
+    :meth:`on_request`.
+    """
+
+    #: Human-readable policy name (overridden per subclass).
+    name = "abstract"
+
+    def __init__(self, cache_size: int) -> None:
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        self.cache_size = int(cache_size)
+        self.used_bytes = 0
+        self._entries: dict[int, int] = {}  # obj -> size
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently unoccupied."""
+        return self.cache_size - self.used_bytes
+
+    @property
+    def n_objects(self) -> int:
+        """Number of resident objects."""
+        return len(self._entries)
+
+    def contains(self, obj: int) -> bool:
+        """True when the object is resident."""
+        return obj in self._entries
+
+    def on_request(self, request: Request) -> bool:
+        """Process one request; returns True on a cache hit."""
+        if request.obj in self._entries:
+            self._on_hit(request)
+            return True
+        self._on_miss_observed(request)
+        if request.size > self.cache_size:
+            return False  # cannot possibly fit
+        if not self._admit(request):
+            return False
+        while self.used_bytes + request.size > self.cache_size:
+            victim = self._select_victim(request)
+            if victim is None:
+                return False  # policy refuses to evict: bypass instead
+            self._remove(victim)
+        self._insert(request)
+        return False
+
+    def reset(self) -> None:
+        """Clear all cache state."""
+        self.used_bytes = 0
+        self._entries.clear()
+        self._reset_policy_state()
+
+    # -- hooks for subclasses ----------------------------------------------
+
+    def _on_hit(self, request: Request) -> None:
+        """Update recency/frequency state on a hit (default: nothing)."""
+
+    def _on_miss_observed(self, request: Request) -> None:
+        """Observe a miss before the admission question (default: nothing).
+
+        Useful for policies that track history of non-resident objects
+        (LRU-K, TinyLFU, RL agents)."""
+
+    def _admit(self, request: Request) -> bool:
+        """Admission decision for a missed object (default: admit)."""
+        return True
+
+    @abstractmethod
+    def _select_victim(self, incoming: Request) -> int | None:
+        """Pick a resident object id to evict, or None to bypass instead."""
+
+    def _insert(self, request: Request) -> None:
+        """Insert an admitted object (subclasses extend for their state)."""
+        self._entries[request.obj] = request.size
+        self.used_bytes += request.size
+
+    def _remove(self, obj: int) -> None:
+        """Remove a resident object (subclasses extend for their state)."""
+        size = self._entries.pop(obj)
+        self.used_bytes -= size
+
+    def _reset_policy_state(self) -> None:
+        """Clear subclass state on :meth:`reset` (default: nothing)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={self.cache_size}, "
+            f"used={self.used_bytes}, objects={len(self._entries)})"
+        )

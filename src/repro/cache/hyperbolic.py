@@ -1,0 +1,96 @@
+"""Hyperbolic caching (Blankstein et al., USENIX ATC 2017).
+
+Priority of an object is ``frequency / time-in-cache`` — a hyperbolic decay
+that needs no queue maintenance.  Eviction samples a handful of resident
+objects and evicts the lowest-priority one, as in the original system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace import Request
+from .base import CachePolicy
+
+__all__ = ["HyperbolicCache"]
+
+
+class HyperbolicCache(CachePolicy):
+    """Sampling-based hyperbolic eviction, admit-all.
+
+    Args:
+        cache_size: capacity in bytes.
+        sample_size: number of residents sampled per eviction (64 in the
+            paper's implementation).
+        size_aware: when True, priority is ``freq / (age * size)``, the
+            cost-aware variant the authors suggest for variable sizes.
+    """
+
+    name = "Hyperbolic"
+
+    def __init__(
+        self,
+        cache_size: int,
+        sample_size: int = 64,
+        size_aware: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(cache_size)
+        self.sample_size = sample_size
+        self.size_aware = size_aware
+        self._rng = np.random.default_rng(seed)
+        self._clock = 0  # logical time: one tick per request observed
+        self._freq: dict[int, int] = {}
+        self._entered: dict[int, int] = {}
+        self._order: list[int] = []
+        self._pos: dict[int, int] = {}
+
+    def on_request(self, request: Request) -> bool:
+        """Process one request, advancing the logical clock."""
+        self._clock += 1
+        return super().on_request(request)
+
+    def _priority(self, obj: int) -> float:
+        age = max(1, self._clock - self._entered[obj])
+        prio = self._freq[obj] / age
+        if self.size_aware:
+            prio /= self._entries[obj]
+        return prio
+
+    def _on_hit(self, request: Request) -> None:
+        self._freq[request.obj] += 1
+
+    def _insert(self, request: Request) -> None:
+        super()._insert(request)
+        self._freq[request.obj] = self._freq.get(request.obj, 0) + 1
+        self._entered[request.obj] = self._clock
+        self._pos[request.obj] = len(self._order)
+        self._order.append(request.obj)
+
+    def _remove(self, obj: int) -> None:
+        super()._remove(obj)
+        self._freq.pop(obj, None)
+        self._entered.pop(obj, None)
+        pos = self._pos.pop(obj)
+        last = self._order.pop()
+        if last != obj:
+            self._order[pos] = last
+            self._pos[last] = pos
+
+    def _select_victim(self, incoming: Request) -> int | None:
+        n = len(self._order)
+        if n == 0:
+            return None
+        if n <= self.sample_size:
+            candidates = self._order
+        else:
+            idx = self._rng.integers(0, n, size=self.sample_size)
+            candidates = [self._order[i] for i in idx]
+        return min(candidates, key=self._priority)
+
+    def _reset_policy_state(self) -> None:
+        self._clock = 0
+        self._freq.clear()
+        self._entered.clear()
+        self._order.clear()
+        self._pos.clear()

@@ -1,0 +1,139 @@
+"""RLC — a model-free reinforcement-learning admission policy.
+
+This is the baseline behind the paper's Figure 1 (taken from the HotNets'17
+"Harvesting Randomness" line of work [48]): a tabular Q-learning agent
+decides admit/bypass per miss, on top of LRU eviction.
+
+The whole point of including it is to reproduce the *failure mode* the paper
+describes: rewards (cache hits) arrive long after the admission decision
+that caused them, so the delayed, sparse credit assignment leaves the agent
+hovering around the performance of random admission and LRU, well below a
+simple size-aware heuristic like GDSF.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..trace import Request
+from .base import CachePolicy
+
+__all__ = ["RLCache"]
+
+_ADMIT = 1
+_BYPASS = 0
+
+
+def _bucket_log2(value: float, max_bucket: int) -> int:
+    if value < 1:
+        return 0
+    return min(int(value).bit_length() - 1, max_bucket - 1)
+
+
+class RLCache(CachePolicy):
+    """Tabular Q-learning admission over LRU eviction.
+
+    State: (log2 size bucket, log2 time-since-last-request bucket).
+    Action: admit or bypass on each miss.
+    Reward: +1 delivered when an admitted object is requested again while
+    still resident; 0 when it was evicted first or bypassed.  The reward is
+    credited to the state-action pair of the *admission-time* decision —
+    i.e. the delayed-feedback structure the paper identifies as the root
+    cause of RL's trouble with caching.
+    """
+
+    name = "RLC"
+
+    def __init__(
+        self,
+        cache_size: int,
+        epsilon: float = 0.1,
+        learning_rate: float = 0.1,
+        discount: float = 0.95,
+        n_size_buckets: int = 24,
+        n_gap_buckets: int = 24,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(cache_size)
+        self.epsilon = epsilon
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.n_size_buckets = n_size_buckets
+        self.n_gap_buckets = n_gap_buckets
+        self._rng = np.random.default_rng(seed)
+        self._q = np.zeros((n_size_buckets, n_gap_buckets, 2), dtype=np.float64)
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self._clock = 0
+        self._last_seen: dict[int, int] = {}
+        # Pending decisions awaiting their (possibly never-arriving) reward:
+        # obj -> (state, action)
+        self._pending: dict[int, tuple[tuple[int, int], int]] = {}
+
+    # -- RL plumbing ---------------------------------------------------------
+
+    def _state(self, request: Request) -> tuple[int, int]:
+        gap = self._clock - self._last_seen.get(request.obj, -(2**self.n_gap_buckets))
+        return (
+            _bucket_log2(request.size, self.n_size_buckets),
+            _bucket_log2(gap, self.n_gap_buckets),
+        )
+
+    def _learn(self, obj: int, reward: float, next_state: tuple[int, int]) -> None:
+        pending = self._pending.pop(obj, None)
+        if pending is None:
+            return
+        state, action = pending
+        target = reward + self.discount * float(self._q[next_state].max())
+        self._q[state][action] += self.learning_rate * (
+            target - self._q[state][action]
+        )
+
+    # -- CachePolicy hooks ---------------------------------------------------
+
+    def on_request(self, request: Request) -> bool:
+        """Process one request, advancing the logical clock."""
+        self._clock += 1
+        return super().on_request(request)
+
+    def _on_hit(self, request: Request) -> None:
+        # The admission that kept this object resident finally pays off.
+        self._learn(request.obj, 1.0, self._state(request))
+        self._last_seen[request.obj] = self._clock
+        self._lru.move_to_end(request.obj)
+
+    def _on_miss_observed(self, request: Request) -> None:
+        # A miss on a previously-decided object: the earlier decision earned
+        # nothing (bypassed, or admitted but evicted before reuse).
+        self._learn(request.obj, 0.0, self._state(request))
+
+    def _admit(self, request: Request) -> bool:
+        state = self._state(request)
+        if self._rng.random() < self.epsilon:
+            action = int(self._rng.integers(0, 2))
+        else:
+            action = int(np.argmax(self._q[state]))
+        self._pending[request.obj] = (state, action)
+        self._last_seen[request.obj] = self._clock
+        return action == _ADMIT
+
+    def _insert(self, request: Request) -> None:
+        super()._insert(request)
+        self._lru[request.obj] = None
+
+    def _remove(self, obj: int) -> None:
+        super()._remove(obj)
+        self._lru.pop(obj, None)
+
+    def _select_victim(self, incoming: Request) -> int | None:
+        if not self._lru:
+            return None
+        return next(iter(self._lru))
+
+    def _reset_policy_state(self) -> None:
+        self._q.fill(0.0)
+        self._lru.clear()
+        self._clock = 0
+        self._last_seen.clear()
+        self._pending.clear()

@@ -1,0 +1,170 @@
+"""Additional classic policies: FIFO, CLOCK, GDS, and 2Q.
+
+These are not in the paper's Figure 6 set but are the standard lineage of
+the policies that are (GDS is GDSF without the frequency term; 2Q and CLOCK
+are the classic scan-resistant/low-overhead designs that S4LRU and
+Hyperbolic are usually compared against).  They round out the simulator as
+a general caching library.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..trace import Request
+from .base import CachePolicy
+from .classic import _AgedFrequencyCache
+
+__all__ = ["FIFOCache", "ClockCache", "GDSCache", "TwoQCache"]
+
+
+class FIFOCache(CachePolicy):
+    """First-in-first-out eviction; hits do not refresh position."""
+
+    name = "FIFO"
+
+    def __init__(self, cache_size: int) -> None:
+        super().__init__(cache_size)
+        self._queue: OrderedDict[int, None] = OrderedDict()
+
+    def _insert(self, request: Request) -> None:
+        super()._insert(request)
+        self._queue[request.obj] = None
+
+    def _remove(self, obj: int) -> None:
+        super()._remove(obj)
+        self._queue.pop(obj, None)
+
+    def _select_victim(self, incoming: Request) -> int | None:
+        return next(iter(self._queue), None)
+
+    def _reset_policy_state(self) -> None:
+        self._queue.clear()
+
+
+class ClockCache(CachePolicy):
+    """CLOCK (second-chance FIFO): a reference bit saves recently hit
+    objects from the advancing hand once."""
+
+    name = "CLOCK"
+
+    def __init__(self, cache_size: int) -> None:
+        super().__init__(cache_size)
+        self._ring: OrderedDict[int, bool] = OrderedDict()  # obj -> ref bit
+
+    def _on_hit(self, request: Request) -> None:
+        self._ring[request.obj] = True
+
+    def _insert(self, request: Request) -> None:
+        super()._insert(request)
+        self._ring[request.obj] = False
+
+    def _remove(self, obj: int) -> None:
+        super()._remove(obj)
+        self._ring.pop(obj, None)
+
+    def _select_victim(self, incoming: Request) -> int | None:
+        while self._ring:
+            obj, referenced = next(iter(self._ring.items()))
+            if referenced:
+                # Second chance: clear the bit, move to the back.
+                self._ring[obj] = False
+                self._ring.move_to_end(obj)
+            else:
+                return obj
+        return None
+
+    def _reset_policy_state(self) -> None:
+        self._ring.clear()
+
+
+class GDSCache(_AgedFrequencyCache):
+    """GreedyDual-Size (Cao & Irani): priority = age + cost/size, without
+    GDSF's frequency term."""
+
+    name = "GDS"
+
+    def _key(self, request: Request, freq: int) -> float:
+        del freq
+        return request.cost / request.size
+
+
+class TwoQCache(CachePolicy):
+    """Simplified 2Q (Johnson & Shasha 1994).
+
+    New objects enter a small FIFO probation queue (A1in); objects evicted
+    from probation leave a ghost entry (A1out, ids only); a request that
+    hits the ghost list promotes the object into the protected LRU (Am).
+    Scans churn the probation queue without touching the protected space.
+    """
+
+    name = "2Q"
+
+    def __init__(
+        self,
+        cache_size: int,
+        probation_fraction: float = 0.25,
+        ghost_entries: int = 10_000,
+    ) -> None:
+        super().__init__(cache_size)
+        if not 0.0 < probation_fraction < 1.0:
+            raise ValueError("probation_fraction must be in (0, 1)")
+        self._probation_quota = int(cache_size * probation_fraction)
+        self._ghost_entries = ghost_entries
+        self._a1in: OrderedDict[int, int] = OrderedDict()  # obj -> size
+        self._a1in_bytes = 0
+        self._a1out: OrderedDict[int, None] = OrderedDict()  # ghosts
+        self._am: OrderedDict[int, int] = OrderedDict()
+
+    def _on_hit(self, request: Request) -> None:
+        obj = request.obj
+        if obj in self._am:
+            self._am.move_to_end(obj)
+        # A1in hits stay put (2Q's defining rule: no promotion on the first
+        # re-reference inside probation).
+
+    def _on_miss_observed(self, request: Request) -> None:
+        pass
+
+    def _admit(self, request: Request) -> bool:
+        return True
+
+    def _insert(self, request: Request) -> None:
+        super()._insert(request)
+        obj, size = request.obj, request.size
+        if obj in self._a1out:
+            # Ghost hit: straight into the protected space.
+            self._a1out.pop(obj)
+            self._am[obj] = size
+        else:
+            self._a1in[obj] = size
+            self._a1in_bytes += size
+
+    def _remove(self, obj: int) -> None:
+        super()._remove(obj)
+        if obj in self._a1in:
+            self._a1in_bytes -= self._a1in.pop(obj)
+            self._a1out[obj] = None
+            while len(self._a1out) > self._ghost_entries:
+                self._a1out.popitem(last=False)
+        else:
+            self._am.pop(obj, None)
+
+    def _select_victim(self, incoming: Request) -> int | None:
+        # Prefer probation victims while probation exceeds its quota or the
+        # protected space is empty.
+        if self._a1in and (
+            self._a1in_bytes > self._probation_quota or not self._am
+        ):
+            return next(iter(self._a1in))
+        if self._am:
+            return next(iter(self._am))
+        if self._a1in:
+            return next(iter(self._a1in))
+        return None
+
+    def _reset_policy_state(self) -> None:
+        self._a1in.clear()
+        self._a1in_bytes = 0
+        self._a1out.clear()
+        self._am.clear()

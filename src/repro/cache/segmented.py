@@ -1,0 +1,79 @@
+"""S4LRU (Huang et al., SOSP 2013) — the best non-learning BHR policy in the
+paper's Figure 6 comparison."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..trace import Request
+from .base import CachePolicy
+
+__all__ = ["S4LRUCache"]
+
+
+class S4LRUCache(CachePolicy):
+    """Segmented LRU with four levels.
+
+    Objects enter at level 0; a hit promotes an object to the head of the
+    next level up.  When a level overflows its byte quota, its tail demotes
+    to the head of the level below; overflow at level 0 leaves the cache.
+    """
+
+    name = "S4LRU"
+
+    def __init__(self, cache_size: int, n_levels: int = 4) -> None:
+        super().__init__(cache_size)
+        if n_levels < 1:
+            raise ValueError("n_levels must be >= 1")
+        self.n_levels = n_levels
+        self._level_quota = cache_size // n_levels
+        self._levels: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(n_levels)
+        ]
+        self._level_bytes = [0] * n_levels
+        self._level_of: dict[int, int] = {}
+
+    def _demote_overflow(self, level: int) -> None:
+        """Cascade tail demotions until every level fits its quota."""
+        for lvl in range(level, 0, -1):
+            while self._level_bytes[lvl] > self._level_quota and self._levels[lvl]:
+                obj, size = self._levels[lvl].popitem(last=False)
+                self._level_bytes[lvl] -= size
+                self._levels[lvl - 1][obj] = size
+                self._level_bytes[lvl - 1] += size
+                self._level_of[obj] = lvl - 1
+
+    def _on_hit(self, request: Request) -> None:
+        obj = request.obj
+        lvl = self._level_of[obj]
+        size = self._levels[lvl].pop(obj)
+        self._level_bytes[lvl] -= size
+        new_lvl = min(lvl + 1, self.n_levels - 1)
+        self._levels[new_lvl][obj] = size
+        self._level_bytes[new_lvl] += size
+        self._level_of[obj] = new_lvl
+        self._demote_overflow(new_lvl)
+
+    def _insert(self, request: Request) -> None:
+        super()._insert(request)
+        self._levels[0][request.obj] = request.size
+        self._level_bytes[0] += request.size
+        self._level_of[request.obj] = 0
+
+    def _remove(self, obj: int) -> None:
+        super()._remove(obj)
+        lvl = self._level_of.pop(obj)
+        size = self._levels[lvl].pop(obj)
+        self._level_bytes[lvl] -= size
+
+    def _select_victim(self, incoming: Request) -> int | None:
+        # Evict from the lowest non-empty level's LRU tail.
+        for lvl in range(self.n_levels):
+            if self._levels[lvl]:
+                return next(iter(self._levels[lvl]))
+        return None
+
+    def _reset_policy_state(self) -> None:
+        self._levels = [OrderedDict() for _ in range(self.n_levels)]
+        self._level_bytes = [0] * self.n_levels
+        self._level_of.clear()

@@ -1,0 +1,104 @@
+"""TinyLFU admission filter (Einziger & Friedman 2014) over LRU.
+
+Cited by the paper among the admission-policy heuristics [24].  A
+count-min sketch estimates request frequencies; a missed object is admitted
+only if its estimated frequency beats the would-be victim's.  The sketch is
+periodically halved ("reset") so estimates age.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..trace import Request
+from .base import CachePolicy
+
+__all__ = ["TinyLFUCache", "CountMinSketch"]
+
+
+class CountMinSketch:
+    """A small count-min sketch with periodic aging.
+
+    Attributes:
+        width: counters per row.
+        depth: number of hash rows.
+        reset_interval: increments between halvings of all counters.
+    """
+
+    def __init__(
+        self, width: int = 16384, depth: int = 4, reset_interval: int = 100_000,
+        seed: int = 0,
+    ) -> None:
+        self.width = width
+        self.depth = depth
+        self.reset_interval = reset_interval
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        # Odd multipliers for multiply-shift hashing.
+        self._salts = rng.integers(1, 2**61, size=depth) | 1
+        self._increments = 0
+
+    def _rows(self, key: int) -> np.ndarray:
+        hashed = (key * self._salts) & ((1 << 61) - 1)
+        return hashed % self.width
+
+    def add(self, key: int) -> None:
+        """Count one occurrence of ``key``."""
+        cols = self._rows(key)
+        self._table[np.arange(self.depth), cols] += 1
+        self._increments += 1
+        if self._increments >= self.reset_interval:
+            self._table >>= 1
+            self._increments = 0
+
+    def estimate(self, key: int) -> int:
+        """Upper-biased frequency estimate of ``key``."""
+        cols = self._rows(key)
+        return int(self._table[np.arange(self.depth), cols].min())
+
+
+class TinyLFUCache(CachePolicy):
+    """LRU with TinyLFU frequency-based admission."""
+
+    name = "TinyLFU"
+
+    def __init__(
+        self, cache_size: int, sketch_width: int = 16384, seed: int = 0,
+    ) -> None:
+        super().__init__(cache_size)
+        self._sketch = CountMinSketch(width=sketch_width, seed=seed)
+        self._lru: OrderedDict[int, None] = OrderedDict()
+
+    def _on_hit(self, request: Request) -> None:
+        self._sketch.add(request.obj)
+        self._lru.move_to_end(request.obj)
+
+    def _on_miss_observed(self, request: Request) -> None:
+        self._sketch.add(request.obj)
+
+    def _admit(self, request: Request) -> bool:
+        if self.used_bytes + request.size <= self.cache_size:
+            return True  # free space: no victim to beat
+        victim = next(iter(self._lru), None)
+        if victim is None:
+            return True
+        return self._sketch.estimate(request.obj) > self._sketch.estimate(victim)
+
+    def _insert(self, request: Request) -> None:
+        super()._insert(request)
+        self._lru[request.obj] = None
+
+    def _remove(self, obj: int) -> None:
+        super()._remove(obj)
+        self._lru.pop(obj, None)
+
+    def _select_victim(self, incoming: Request) -> int | None:
+        if not self._lru:
+            return None
+        return next(iter(self._lru))
+
+    def _reset_policy_state(self) -> None:
+        self._lru.clear()
+        self._sketch = CountMinSketch(width=self._sketch.width)

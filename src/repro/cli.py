@@ -1,0 +1,261 @@
+"""Command-line interface: generate traces, inspect them, run comparisons.
+
+Installed as the ``lfo`` console script::
+
+    lfo generate --requests 20000 --out trace.bin
+    lfo stats trace.bin
+    lfo opt trace.bin --cache-mb 1 --segment 1000
+    lfo compare trace.bin --cache-fraction 10 --policies LRU,GDSF,S4LRU
+    lfo simulate trace.bin --cache-fraction 10 --window 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import LFOOnline, OptLabelConfig
+from .opt import opt_bhr_bounds, solve_segmented
+from .sim import (
+    compare_policies,
+    format_table,
+    load_spec,
+    policy_factories,
+    run_experiment,
+    simulate,
+)
+from .trace import (
+    SyntheticConfig,
+    Trace,
+    compute_stats,
+    generate_trace,
+    read_binary_trace,
+    read_text_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_trace(path: str) -> Trace:
+    if path.endswith(".bin"):
+        return read_binary_trace(path)
+    return read_text_trace(path)
+
+
+def _resolve_cache(args: argparse.Namespace, trace: Trace) -> int:
+    if getattr(args, "cache_bytes", None):
+        return int(args.cache_bytes)
+    if getattr(args, "cache_mb", None):
+        return int(args.cache_mb * 1_000_000)
+    stats = compute_stats(trace)
+    return max(1, stats.footprint_bytes // args.cache_fraction)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = SyntheticConfig(
+        n_requests=args.requests,
+        n_objects=args.objects,
+        alpha=args.alpha,
+        size_median=args.size_median,
+        size_sigma=args.size_sigma,
+        size_max=args.size_max,
+        locality=args.locality,
+        seed=args.seed,
+    )
+    trace = generate_trace(config)
+    if args.out.endswith(".bin"):
+        write_binary_trace(trace, args.out)
+    else:
+        write_text_trace(trace, args.out)
+    print(f"wrote {len(trace)} requests to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    stats = compute_stats(trace)
+    for key, value in stats.as_dict().items():
+        if isinstance(value, float):
+            print(f"{key:<28} {value:.4f}")
+        else:
+            print(f"{key:<28} {value}")
+    return 0
+
+
+def _cmd_opt(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    cache_size = _resolve_cache(args, trace)
+    result = solve_segmented(trace, cache_size, args.segment)
+    total_bytes = float(trace.sizes.sum())
+    print(f"cache size        {cache_size}")
+    print(f"segments solved   {result.n_segments}")
+    print(f"OPT admits        {result.decisions.mean():.2%} of requests")
+    print(f"OPT miss cost     {result.miss_cost:.0f}")
+    if (trace.costs == trace.sizes).all():
+        lo, hi = opt_bhr_bounds(trace, cache_size, args.segment)
+        print(f"OPT BHR bounds    [{lo:.4f}, {hi:.4f}]")
+        print(f"implied BHR       {1 - result.miss_cost / total_bytes:.4f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    cache_size = _resolve_cache(args, trace)
+    subset = args.policies.split(",") if args.policies else None
+    results = compare_policies(
+        trace, cache_size, factories=policy_factories(subset),
+        warmup_fraction=args.warmup,
+    )
+    print(format_table(results, sort_by=args.sort_by))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    cache_size = _resolve_cache(args, trace)
+    lfo = LFOOnline(
+        cache_size,
+        window=args.window,
+        cutoff=args.cutoff,
+        label_config=OptLabelConfig(
+            mode=args.label_mode, segment_length=args.segment
+        ),
+    )
+    result = simulate(trace, lfo, warmup_fraction=args.warmup)
+    print(f"policy     {result.policy}")
+    print(f"requests   {result.n_requests}")
+    print(f"retrains   {lfo.n_retrains}")
+    print(f"BHR        {result.bhr:.4f}")
+    print(f"OHR        {result.ohr:.4f}")
+    return 0
+
+
+def _cmd_hrc(args: argparse.Namespace) -> int:
+    from .sim import lru_hit_ratio_curve
+    from .viz import sparkline
+
+    trace = _load_trace(args.trace)
+    curve = lru_hit_ratio_curve(trace, n_points=args.points)
+    print("LRU byte hit-ratio curve")
+    print(f"sizes  {int(curve.sizes[0])} .. {int(curve.sizes[-1])} bytes")
+    print(f"curve  {sparkline(curve.bhr)}")
+    print(f"max    {curve.bhr[-1]:.4f} (compulsory-miss limit)")
+    for fraction in (0.01, 0.05, 0.1, 0.25, 0.5):
+        size = fraction * curve.sizes[-1]
+        print(f"BHR at {fraction:>5.0%} of max working set: {curve.at(size):.4f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json as _json
+
+    spec = load_spec(args.spec)
+    outcome = run_experiment(spec)
+    if args.json:
+        print(_json.dumps(outcome, indent=2))
+    else:
+        print(f"trace      {outcome['trace']['name']} "
+              f"({outcome['trace']['n_requests']} requests)")
+        print(f"cache      {outcome['cache_size']} bytes")
+        for name, metrics in sorted(
+            outcome["results"].items(), key=lambda kv: -kv[1]["bhr"]
+        ):
+            extra = (
+                f"  retrains={metrics['retrains']}"
+                if "retrains" in metrics
+                else ""
+            )
+            print(
+                f"{name:<12} BHR={metrics['bhr']:.4f} "
+                f"OHR={metrics['ohr']:.4f}{extra}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``lfo`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="lfo",
+        description="LFO: Learning From OPT for CDN caching (HotNets'18).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic trace")
+    p_gen.add_argument("--requests", type=int, default=20_000)
+    p_gen.add_argument("--objects", type=int, default=4_000)
+    p_gen.add_argument("--alpha", type=float, default=0.9)
+    p_gen.add_argument("--size-median", type=float, default=50.0)
+    p_gen.add_argument("--size-sigma", type=float, default=1.3)
+    p_gen.add_argument("--size-max", type=int, default=1_000_000)
+    p_gen.add_argument("--locality", type=float, default=0.2)
+    p_gen.add_argument("--seed", type=int, default=42)
+    p_gen.add_argument("--out", required=True,
+                       help="output path (.bin = binary, else text)")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    def add_cache_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("trace", help="trace path (.bin or text)")
+        p.add_argument("--cache-fraction", type=int, default=10,
+                       help="cache = footprint / fraction (default 10)")
+        p.add_argument("--cache-mb", type=float,
+                       help="cache size in MB (overrides fraction)")
+        p.add_argument("--cache-bytes", type=int,
+                       help="cache size in bytes (overrides everything)")
+
+    p_stats = sub.add_parser("stats", help="print trace statistics")
+    p_stats.add_argument("trace")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_opt = sub.add_parser("opt", help="compute OPT decisions and bounds")
+    add_cache_args(p_opt)
+    p_opt.add_argument("--segment", type=int, default=1_000)
+    p_opt.set_defaults(func=_cmd_opt)
+
+    p_cmp = sub.add_parser("compare", help="compare caching policies")
+    add_cache_args(p_cmp)
+    p_cmp.add_argument("--policies", default=None,
+                       help="comma-separated subset, e.g. LRU,GDSF,S4LRU")
+    p_cmp.add_argument("--warmup", type=float, default=0.25)
+    p_cmp.add_argument("--sort-by", choices=("bhr", "ohr"), default="bhr")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sim = sub.add_parser("simulate", help="run online LFO over a trace")
+    add_cache_args(p_sim)
+    p_sim.add_argument("--window", type=int, default=5_000)
+    p_sim.add_argument("--cutoff", type=float, default=0.5)
+    p_sim.add_argument("--segment", type=int, default=1_000)
+    p_sim.add_argument("--label-mode", default="segmented",
+                       choices=("exact", "segmented", "pruned"))
+    p_sim.add_argument("--warmup", type=float, default=0.25)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_hrc = sub.add_parser(
+        "hrc", help="print the trace's LRU hit-ratio curve"
+    )
+    p_hrc.add_argument("trace")
+    p_hrc.add_argument("--points", type=int, default=64)
+    p_hrc.set_defaults(func=_cmd_hrc)
+
+    p_exp = sub.add_parser(
+        "experiment", help="run a declarative experiment spec (JSON)"
+    )
+    p_exp.add_argument("spec", help="path to a JSON experiment spec")
+    p_exp.add_argument("--json", action="store_true",
+                       help="emit the full result as JSON")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""LFO core: model, cache policy, online loop, and experiment pipeline."""
+
+from .cutoff import CutoffSweep, cutoff_sweep, equal_error_cutoff
+from .drift import AdaptiveLFOOnline, DriftDetector
+from .hierarchy import TieredLFOCache, TieredLFOOnline, TierStats
+from .irl import IRLCache, IRLOnline, LinearRewardIRL
+from .lfo import LFOCache, LFOModel
+from .online import LFOOnline, OptLabelConfig
+from .pipeline import (
+    AccuracyReport,
+    WindowData,
+    error_rates,
+    prepare_windows,
+    train_and_evaluate,
+)
+from .throughput import ThroughputPoint, gbits_served, measure_throughput
+
+__all__ = [
+    "AdaptiveLFOOnline",
+    "DriftDetector",
+    "CutoffSweep",
+    "cutoff_sweep",
+    "equal_error_cutoff",
+    "TieredLFOCache",
+    "TieredLFOOnline",
+    "TierStats",
+    "IRLCache",
+    "IRLOnline",
+    "LinearRewardIRL",
+    "LFOCache",
+    "LFOModel",
+    "LFOOnline",
+    "OptLabelConfig",
+    "AccuracyReport",
+    "WindowData",
+    "error_rates",
+    "prepare_windows",
+    "train_and_evaluate",
+    "ThroughputPoint",
+    "gbits_served",
+    "measure_throughput",
+]

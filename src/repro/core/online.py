@@ -1,0 +1,139 @@
+"""The full online LFO loop of the paper's Figure 2.
+
+``LFOOnline`` records each window ``W[t]`` of requests together with the
+online features observed live, computes OPT's decisions for the window once
+it closes, trains a fresh model, and serves window ``W[t+1]`` with it.  The
+first window runs in cold-start (admit-all LRU) mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..features import Dataset, feature_names
+from ..gbdt import GBDTParams
+from ..opt import solve_greedy, solve_opt, solve_pruned, solve_segmented
+from ..trace import Request, Trace
+from .lfo import LFOCache, LFOModel
+
+__all__ = ["LFOOnline", "OptLabelConfig"]
+
+
+@dataclass(frozen=True)
+class OptLabelConfig:
+    """How OPT labels are computed at each window boundary.
+
+    ``mode`` is one of:
+
+    * ``"exact"`` — full min-cost-flow solve of the window (slow beyond a
+      few thousand requests);
+    * ``"segmented"`` — time-axis split into ``segment_length`` chunks with
+      ``lookahead`` extra requests per solve (the approximation of [8],
+      plus overlap to avoid boundary mislabels);
+    * ``"pruned"`` — the paper's ranking-axis split, keeping the
+      ``keep_fraction`` top-ranked requests (optionally also segmented);
+    * ``"greedy"`` — rank-ordered greedy interval packing (fastest; a
+      feasible approximation rather than the flow optimum).
+    """
+
+    mode: str = "segmented"
+    segment_length: int = 1000
+    keep_fraction: float = 0.3
+    lookahead: int | None = None
+
+    def compute(self, window: Trace, cache_size: int) -> np.ndarray:
+        """Return per-request OPT admission labels for a window."""
+        if self.mode == "exact":
+            return solve_opt(window, cache_size).decisions
+        if self.mode == "segmented":
+            return solve_segmented(
+                window, cache_size, self.segment_length,
+                lookahead=self.lookahead,
+            ).decisions
+        if self.mode == "pruned":
+            return solve_pruned(
+                window,
+                cache_size,
+                keep_fraction=self.keep_fraction,
+                segment_length=self.segment_length,
+            ).decisions
+        if self.mode == "greedy":
+            return solve_greedy(window, cache_size).decisions
+        raise ValueError(f"unknown OPT label mode: {self.mode!r}")
+
+
+class LFOOnline(LFOCache):
+    """LFO with periodic retraining on sliding windows.
+
+    Args:
+        cache_size: capacity in bytes.
+        window: requests per training window ``W[t]``.
+        gbdt_params: learner hyperparameters (paper defaults when None).
+        cutoff: admission likelihood threshold.
+        label_config: how OPT labels are derived per window.
+        n_gaps: gap-feature count.
+        min_positive_labels: skip retraining when a window contains fewer
+            positive OPT decisions than this (degenerate windows).
+    """
+
+    name = "LFO-online"
+
+    def __init__(
+        self,
+        cache_size: int,
+        window: int = 10_000,
+        gbdt_params: GBDTParams | None = None,
+        cutoff: float = 0.5,
+        label_config: OptLabelConfig | None = None,
+        n_gaps: int = 50,
+        min_positive_labels: int = 10,
+        eviction: str = "likelihood",
+        rescore_interval: int = 0,
+    ) -> None:
+        super().__init__(
+            cache_size, model=None, n_gaps=n_gaps,
+            eviction=eviction, rescore_interval=rescore_interval,
+        )
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.gbdt_params = gbdt_params or GBDTParams()
+        self.cutoff = cutoff
+        self.label_config = label_config or OptLabelConfig()
+        self.min_positive_labels = min_positive_labels
+        self.n_retrains = 0
+        self._buffer_requests: list[Request] = []
+        self._buffer_features: list[np.ndarray] = []
+
+    def on_request(self, request: Request) -> bool:
+        """Process one request, retraining at window boundaries."""
+        hit = super().on_request(request)
+        # ``last_features`` was computed inside LFOCache.on_request with the
+        # live free-bytes observation — exactly what training must see.
+        self._buffer_requests.append(request)
+        self._buffer_features.append(self.last_features)
+        if len(self._buffer_requests) >= self.window:
+            self._retrain()
+        return hit
+
+    def _retrain(self) -> None:
+        window_trace = Trace(self._buffer_requests, name=f"W[{self.n_retrains}]")
+        self._buffer_requests = []
+        features = np.vstack(self._buffer_features)
+        self._buffer_features = []
+
+        labels = self.label_config.compute(window_trace, self.cache_size)
+        if labels.sum() < self.min_positive_labels:
+            return  # degenerate window (e.g. pure scan): keep current model
+        dataset = Dataset(
+            X=features,
+            y=labels.astype(np.float64),
+            names=feature_names(self._tracker.n_gaps),
+        )
+        model = LFOModel.train(
+            dataset, params=self.gbdt_params, cutoff=self.cutoff
+        )
+        self.set_model(model)
+        self.n_retrains += 1

@@ -1,0 +1,145 @@
+"""Online feature tracking (Section 2.2 of the paper).
+
+LFO's features per request:
+
+* object size;
+* most recent retrieval cost;
+* currently free (available) bytes in the cache;
+* the time *gaps* between the last ``n_gaps`` (default 50) consecutive
+  requests to the object.
+
+The gap representation is shift-invariant (except the first entry, which is
+the gap from the most recent request to "now"), which the paper argues is
+important for robustness, unlike LRU-K's absolute-age representation.
+
+The tracker uses a sparse per-object representation (most CDN objects see
+fewer than 5 requests, §2.2) with an optional LRU cap on tracked objects so
+memory stays bounded on adversarial one-touch scans.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..trace import Request
+
+__all__ = ["FeatureTracker", "MISSING_GAP", "feature_names"]
+
+#: Sentinel for "no such past request": larger than any realistic gap so the
+#: learner can separate "long ago" from "never".
+MISSING_GAP = 1e9
+
+
+def feature_names(n_gaps: int = 50) -> list[str]:
+    """Column names of the feature matrix, in order."""
+    return ["size", "cost", "free_bytes"] + [
+        f"gap_{k}" for k in range(1, n_gaps + 1)
+    ]
+
+
+class _ObjectState:
+    """Per-object sliding history (ring buffer of request times)."""
+
+    __slots__ = ("times", "head", "count", "last_cost")
+
+    def __init__(self, n_slots: int) -> None:
+        self.times = [0.0] * n_slots
+        self.head = 0
+        self.count = 0
+        self.last_cost = 0.0
+
+    def record(self, time: float, cost: float, n_slots: int) -> None:
+        self.times[self.head] = time
+        self.head = (self.head + 1) % n_slots
+        if self.count < n_slots:
+            self.count += 1
+        self.last_cost = cost
+
+    def gaps(self, now: float, n_gaps: int, n_slots: int) -> list[float]:
+        """Gaps ordered most-recent first; padded with MISSING_GAP."""
+        out = [MISSING_GAP] * n_gaps
+        prev = now
+        for k in range(min(self.count, n_gaps)):
+            pos = (self.head - 1 - k) % n_slots
+            t = self.times[pos]
+            out[k] = prev - t
+            prev = t
+        return out
+
+
+class FeatureTracker:
+    """Sparse online feature state over a request stream.
+
+    Usage per request (order matters)::
+
+        features = tracker.features(request, free_bytes)  # before updating
+        tracker.update(request)                           # then record it
+
+    Attributes:
+        n_gaps: number of gap features (the paper uses 50).
+        max_objects: optional LRU bound on tracked objects (0 = unbounded).
+    """
+
+    def __init__(self, n_gaps: int = 50, max_objects: int = 0) -> None:
+        if n_gaps <= 0:
+            raise ValueError("n_gaps must be positive")
+        if max_objects < 0:
+            raise ValueError("max_objects must be >= 0")
+        self.n_gaps = n_gaps
+        # One extra slot so gap_1 (now - last request) plus n_gaps-1
+        # historical gaps are all available.
+        self._n_slots = n_gaps + 1
+        self.max_objects = max_objects
+        self._objects: OrderedDict[int, _ObjectState] = OrderedDict()
+
+    @property
+    def n_features(self) -> int:
+        """Width of the feature vector."""
+        return 3 + self.n_gaps
+
+    @property
+    def n_tracked(self) -> int:
+        """Number of objects with live state."""
+        return len(self._objects)
+
+    def features(self, request: Request, free_bytes: int) -> np.ndarray:
+        """Feature vector for ``request`` given current cache free space.
+
+        Must be called *before* :meth:`update` for the same request, so
+        gap_1 reflects the distance to the previous request.
+        """
+        vec = np.empty(self.n_features, dtype=np.float64)
+        vec[0] = request.size
+        vec[2] = free_bytes
+        state = self._objects.get(request.obj)
+        if state is None:
+            vec[1] = request.cost
+            vec[3:] = MISSING_GAP
+        else:
+            vec[1] = state.last_cost
+            vec[3:] = state.gaps(request.time, self.n_gaps, self._n_slots)
+        return vec
+
+    def update(self, request: Request) -> None:
+        """Record a request in the object's history."""
+        state = self._objects.get(request.obj)
+        if state is None:
+            state = _ObjectState(self._n_slots)
+            self._objects[request.obj] = state
+        else:
+            self._objects.move_to_end(request.obj)
+        state.record(request.time, request.cost, self._n_slots)
+        if self.max_objects and len(self._objects) > self.max_objects:
+            self._objects.popitem(last=False)
+
+    def memory_bytes_naive(self) -> int:
+        """The paper's back-of-envelope accounting: a dense per-object record
+        of 50 gaps (4 B each) plus size, cost, and bookkeeping ≈ 208 B."""
+        per_object = 4 * self.n_gaps + 8  # gaps + size/cost words
+        return per_object * len(self._objects)
+
+    def forget(self, obj: int) -> None:
+        """Drop state for an object (e.g. after long inactivity)."""
+        self._objects.pop(obj, None)

@@ -1,0 +1,15 @@
+"""Min-cost flow substrate (graph model, exact solver, verification)."""
+
+from .graph import FlowNetwork
+from .ssp import InfeasibleFlowError, MinCostFlowResult, solve_min_cost_flow
+from .verify import check_flow, flow_cost, solve_with_networkx
+
+__all__ = [
+    "FlowNetwork",
+    "InfeasibleFlowError",
+    "MinCostFlowResult",
+    "solve_min_cost_flow",
+    "check_flow",
+    "flow_cost",
+    "solve_with_networkx",
+]

@@ -1,0 +1,88 @@
+"""Flow network representation used by the min-cost flow solver.
+
+Arcs are stored in a flat residual representation: every arc added via
+:meth:`FlowNetwork.add_arc` creates a forward arc at an even index and its
+reverse (zero-capacity, negated cost) at the following odd index, so that
+``arc ^ 1`` is always the residual partner.  This keeps the solver free of
+object overhead, which matters because the OPT graphs have one node per
+request.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["FlowNetwork"]
+
+
+class FlowNetwork:
+    """A directed graph with arc capacities, costs, and node supplies.
+
+    Supplies follow the usual min-cost-flow convention: positive supply means
+    the node is a source of flow, negative means it demands flow.  The total
+    supply over all nodes must be zero for a feasible instance.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("a flow network needs at least one node")
+        self.n_nodes = n_nodes
+        self.supply = [0] * n_nodes
+        # Flat arc arrays; arc i and arc i^1 are residual partners.
+        self.arc_to: list[int] = []
+        self.arc_cap: list[int] = []
+        self.arc_cost: list[float] = []
+        self.adjacency: list[list[int]] = [[] for _ in range(n_nodes)]
+        self._arc_tail: list[int] = []
+
+    def add_arc(self, tail: int, head: int, capacity: int, cost: float) -> int:
+        """Add a forward arc and its residual partner; return the arc index."""
+        if not (0 <= tail < self.n_nodes and 0 <= head < self.n_nodes):
+            raise IndexError("arc endpoint out of range")
+        if capacity < 0:
+            raise ValueError("arc capacity must be non-negative")
+        index = len(self.arc_to)
+        # forward arc
+        self.arc_to.append(head)
+        self.arc_cap.append(capacity)
+        self.arc_cost.append(cost)
+        self.adjacency[tail].append(index)
+        self._arc_tail.append(tail)
+        # residual arc
+        self.arc_to.append(tail)
+        self.arc_cap.append(0)
+        self.arc_cost.append(-cost)
+        self.adjacency[head].append(index + 1)
+        self._arc_tail.append(head)
+        return index
+
+    def add_supply(self, node: int, amount: int) -> None:
+        """Add flow supply (positive) or demand (negative) at a node."""
+        self.supply[node] += amount
+
+    def arc_flow(self, arc: int) -> int:
+        """Flow currently routed on a forward arc (its residual capacity)."""
+        if arc % 2 != 0:
+            raise ValueError("arc_flow expects a forward (even) arc index")
+        return self.arc_cap[arc ^ 1]
+
+    def arc_tail(self, arc: int) -> int:
+        """Tail node of an arc."""
+        return self._arc_tail[arc]
+
+    @property
+    def n_arcs(self) -> int:
+        """Number of forward arcs."""
+        return len(self.arc_to) // 2
+
+    def forward_arcs(self) -> Iterator[int]:
+        """Iterate over forward (even) arc indices."""
+        return iter(range(0, len(self.arc_to), 2))
+
+    def total_supply(self) -> int:
+        """Sum of positive supplies (the amount of flow to be routed)."""
+        return sum(s for s in self.supply if s > 0)
+
+    def is_balanced(self) -> bool:
+        """True when supplies and demands cancel out."""
+        return sum(self.supply) == 0

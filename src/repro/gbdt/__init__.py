@@ -1,0 +1,19 @@
+"""Histogram-based gradient-boosted decision trees (LightGBM substitute)."""
+
+from .binning import BinMapper
+from .boosting import GBDTClassifier, GBDTParams, GBDTRegressor
+from .losses import LogisticLoss, SquaredLoss, sigmoid
+from .tree import Tree, TreeGrowthParams, grow_tree
+
+__all__ = [
+    "BinMapper",
+    "GBDTClassifier",
+    "GBDTParams",
+    "GBDTRegressor",
+    "LogisticLoss",
+    "SquaredLoss",
+    "sigmoid",
+    "Tree",
+    "TreeGrowthParams",
+    "grow_tree",
+]

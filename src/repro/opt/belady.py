@@ -1,0 +1,97 @@
+"""Belady's MIN algorithm with optional admission (bypass).
+
+For unit-size objects, offline optimal caching is achieved by the classic
+farthest-in-future rule; allowing the incoming object itself to be the one
+"evicted" (i.e. not admitted) extends optimality to the bypass setting that
+the min-cost-flow OPT also assumes.  The test suite cross-checks the MCF
+solver against this independent implementation on unit-size traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import heapq
+
+import numpy as np
+
+from ..trace import Trace
+
+__all__ = ["BeladyResult", "belady_unit_size"]
+
+
+@dataclass(frozen=True)
+class BeladyResult:
+    """Outcome of a Belady simulation.
+
+    Attributes:
+        hits: per-request boolean hit flags.
+        n_hits: total number of hits.
+        ohr: object hit ratio over the whole trace.
+    """
+
+    hits: np.ndarray
+    n_hits: int
+    ohr: float
+
+
+_NEVER = float("inf")
+
+
+def belady_unit_size(trace: Trace, cache_slots: int) -> BeladyResult:
+    """Simulate Belady's MIN with bypass on a unit-size trace.
+
+    Args:
+        trace: request trace; all sizes must be 1.
+        cache_slots: number of unit-size slots in the cache.
+
+    Raises:
+        ValueError: if any request has size != 1.
+    """
+    sizes = trace.sizes
+    if not (sizes == 1).all():
+        raise ValueError("belady_unit_size requires all object sizes == 1")
+    if cache_slots <= 0:
+        raise ValueError("cache_slots must be positive")
+
+    nxt = trace.next_occurrence()
+    n = len(trace)
+    objs = trace.objs
+
+    hits = np.zeros(n, dtype=bool)
+    # cache maps object -> next use index; a max-heap (negated) finds the
+    # farthest-in-future victim lazily.
+    cache: dict[int, float] = {}
+    heap: list[tuple[float, int]] = []  # (-next_use, obj)
+
+    for i in range(n):
+        obj = int(objs[i])
+        next_use = float(nxt[i]) if nxt[i] >= 0 else _NEVER
+        if obj in cache:
+            hits[i] = True
+            cache[obj] = next_use
+            heapq.heappush(heap, (-next_use, obj))
+            continue
+        if next_use == _NEVER:
+            # Never used again: admitting it cannot produce a hit.
+            continue
+        if len(cache) < cache_slots:
+            cache[obj] = next_use
+            heapq.heappush(heap, (-next_use, obj))
+            continue
+        # Cache full: find the current farthest-in-future resident.
+        while heap:
+            neg_use, victim = heap[0]
+            if victim in cache and cache[victim] == -neg_use:
+                break
+            heapq.heappop(heap)  # stale entry
+        farthest_use = -heap[0][0] if heap else _NEVER
+        if farthest_use > next_use:
+            victim = heap[0][1]
+            heapq.heappop(heap)
+            del cache[victim]
+            cache[obj] = next_use
+            heapq.heappush(heap, (-next_use, obj))
+        # else: bypass — the incoming object is the farthest in future.
+
+    n_hits = int(hits.sum())
+    return BeladyResult(hits=hits, n_hits=n_hits, ohr=n_hits / n if n else 0.0)

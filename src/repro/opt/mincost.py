@@ -1,0 +1,171 @@
+"""Offline optimal caching (OPT) via min-cost flow.
+
+This implements the encoding of Figure 4 of the paper (following Berger,
+Beckmann, Harchol-Balter, SIGMETRICS 2018):
+
+* one graph node per request, in trace order;
+* *central* arcs between consecutive nodes with capacity equal to the cache
+  size and zero cost — a unit of flow on a central arc is a byte stored in
+  the cache over that time step;
+* *bypass* arcs between consecutive requests to the same object with
+  capacity equal to the object size and per-unit cost ``cost/size`` — a unit
+  of flow on a bypass arc is a byte fetched from the origin (a miss);
+* supply equal to the object size at its first request, matching demand at
+  its last request.
+
+The min-cost solution routes each object's bytes either through the cache
+(central path) or around it (bypass); the bypass flow of the interval
+starting at request *i* tells us whether OPT keeps the object cached until
+its next request — exactly the label LFO trains on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..flow import FlowNetwork, solve_min_cost_flow
+from ..trace import Trace
+
+__all__ = ["OptResult", "build_opt_network", "solve_opt", "opt_hit_ratios"]
+
+
+@dataclass(frozen=True)
+class OptResult:
+    """OPT's decisions and performance for one trace window.
+
+    Attributes:
+        decisions: per-request boolean, True when OPT keeps the requested
+            object in cache until its next request (the admission label LFO
+            learns).  Requests whose object never recurs are always False.
+        cached_fraction: per-request fraction of the object's bytes that OPT
+            routes through the cache for the upcoming interval; in theory
+            the min-cost solution is all-or-nothing for nearly every
+            interval (paper, footnote 2), so this is almost always 0 or 1.
+        hit_bytes: per-request bytes served from cache (non-zero only when
+            the *previous* interval of the object was cached).
+        miss_cost: total retrieval cost paid by OPT, including compulsory
+            first-request misses.
+        flow_cost: objective value of the min-cost flow (miss cost over
+            recurring intervals only).
+        augmentations: solver iterations (diagnostic).
+    """
+
+    decisions: np.ndarray
+    cached_fraction: np.ndarray
+    hit_bytes: np.ndarray
+    miss_cost: float
+    flow_cost: float
+    augmentations: int
+
+
+def build_opt_network(
+    trace: Trace, cache_size: int
+) -> tuple[FlowNetwork, dict[int, int]]:
+    """Build the min-cost flow instance for a trace window.
+
+    Returns:
+        The network and a mapping ``request index -> bypass arc index`` for
+        every request that has a next occurrence.
+    """
+    if cache_size <= 0:
+        raise ValueError("cache size must be positive")
+    n = len(trace)
+    if n == 0:
+        raise ValueError("cannot build OPT network for an empty trace")
+
+    sizes = trace.sizes
+    costs = trace.costs
+    nxt = trace.next_occurrence()
+    prv = trace.prev_occurrence()
+
+    network = FlowNetwork(n)
+    for i in range(n - 1):
+        network.add_arc(i, i + 1, cache_size, 0.0)
+
+    bypass_arc: dict[int, int] = {}
+    for i in range(n):
+        j = int(nxt[i])
+        if j >= 0:
+            size = int(sizes[i])
+            per_byte_cost = float(costs[i]) / size
+            bypass_arc[i] = network.add_arc(i, j, size, per_byte_cost)
+
+    for i in range(n):
+        has_prev = prv[i] >= 0
+        has_next = nxt[i] >= 0
+        size = int(sizes[i])
+        if not has_prev and has_next:
+            network.add_supply(i, size)
+        elif has_prev and not has_next:
+            network.add_supply(i, -size)
+        # single-occurrence objects and middle occurrences: no net supply
+    return network, bypass_arc
+
+
+def solve_opt(trace: Trace, cache_size: int) -> OptResult:
+    """Compute OPT's decisions for a trace window.
+
+    The window should be small enough for an exact solve (up to a few tens
+    of thousands of requests); for longer traces use
+    :func:`repro.opt.segmentation.solve_segmented` or the ranking-axis
+    pruning of :func:`repro.opt.segmentation.solve_pruned`.
+    """
+    n = len(trace)
+    network, bypass_arc = build_opt_network(trace, cache_size)
+    result = solve_min_cost_flow(network)
+
+    sizes = trace.sizes
+    costs = trace.costs
+    nxt = trace.next_occurrence()
+    prv = trace.prev_occurrence()
+
+    cached_fraction = np.zeros(n, dtype=np.float64)
+    decisions = np.zeros(n, dtype=bool)
+    hit_bytes = np.zeros(n, dtype=np.int64)
+
+    bypass_flow: dict[int, int] = {}
+    for i, arc in bypass_arc.items():
+        bypass_flow[i] = result.flow.get(arc, 0)
+
+    for i in range(n):
+        if int(nxt[i]) >= 0:
+            size = int(sizes[i])
+            missed = bypass_flow[i]
+            cached_fraction[i] = 1.0 - missed / size
+            decisions[i] = missed == 0
+
+    miss_cost = float(result.total_cost)
+    for i in range(n):
+        p = int(prv[i])
+        size = int(sizes[i])
+        if p < 0:
+            # Compulsory miss: the first request is always fetched.
+            miss_cost += float(costs[i])
+        else:
+            hit_bytes[i] = size - bypass_flow[p]
+
+    return OptResult(
+        decisions=decisions,
+        cached_fraction=cached_fraction,
+        hit_bytes=hit_bytes,
+        miss_cost=miss_cost,
+        flow_cost=float(result.total_cost),
+        augmentations=result.augmentations,
+    )
+
+
+def opt_hit_ratios(trace: Trace, result: OptResult) -> tuple[float, float]:
+    """(byte hit ratio, object hit ratio) achieved by OPT on the window.
+
+    A request counts as an object hit when *all* of its bytes were cached
+    over the preceding interval.
+    """
+    total_bytes = float(trace.sizes.sum())
+    bhr = float(result.hit_bytes.sum()) / total_bytes if total_bytes else 0.0
+    full_hits = int((result.hit_bytes == trace.sizes).sum())
+    # First requests have hit_bytes == 0 and can never be full hits unless
+    # size == 0, which Request forbids.
+    ohr = full_hits / len(trace) if len(trace) else 0.0
+    return bhr, ohr

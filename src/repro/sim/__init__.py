@@ -1,0 +1,46 @@
+"""Simulation engine and multi-policy comparison harness."""
+
+from .comparison import (
+    ComparisonRow,
+    compare_policies,
+    format_table,
+    policy_factories,
+)
+from .experiment import load_spec, run_experiment
+from .metrics import BootstrapCI, bootstrap_bhr_ci, paired_bootstrap_diff
+from .hrc import (
+    HitRatioCurve,
+    che_hit_ratio_curve,
+    lru_hit_ratio_curve,
+    partition_cache,
+    reuse_distance_bytes,
+)
+from .runner import SimResult, record_free_bytes, simulate
+from .server import ServerConfig, ServerReport, simulate_server
+from .sweep import crossover_size, policy_hit_ratio_curve, sweep_policies
+
+__all__ = [
+    "ComparisonRow",
+    "compare_policies",
+    "format_table",
+    "policy_factories",
+    "load_spec",
+    "run_experiment",
+    "BootstrapCI",
+    "bootstrap_bhr_ci",
+    "paired_bootstrap_diff",
+    "HitRatioCurve",
+    "che_hit_ratio_curve",
+    "lru_hit_ratio_curve",
+    "partition_cache",
+    "reuse_distance_bytes",
+    "SimResult",
+    "record_free_bytes",
+    "simulate",
+    "ServerConfig",
+    "ServerReport",
+    "simulate_server",
+    "crossover_size",
+    "policy_hit_ratio_curve",
+    "sweep_policies",
+]

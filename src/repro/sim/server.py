@@ -1,0 +1,201 @@
+"""Discrete-event model of a CDN server running predictions + training.
+
+The paper's throughput section remarks: "we have not included the training
+overhead and ... a production implementation would need to carefully
+optimize priorities such that training tasks do not interfere with the
+request traffic."  This module makes that trade-off measurable with a small
+multi-server queueing simulation:
+
+* requests arrive (Poisson) and need a short prediction service time;
+* training jobs arrive every ``window`` requests and need a long service
+  time;
+* under the ``"fifo"`` discipline a training job occupies a worker
+  end-to-end, inflating request tail latency;
+* under the ``"priority"`` discipline training only consumes worker time
+  that requests leave idle (ideal preemption), so request latency is
+  unaffected and training finishes whenever enough idle time accumulates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ServerConfig", "ServerReport", "simulate_server"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Parameters of the prediction-server simulation.
+
+    Attributes:
+        n_workers: parallel predictor threads.
+        arrival_rate: requests per second (Poisson).
+        prediction_time: seconds of worker time per request.
+        training_time: seconds of worker time per training job.
+        window: requests between training-job arrivals (0 = no training).
+        n_requests: simulated request count.
+        discipline: "fifo" (training competes head-of-line) or
+            "priority" (training is fully preemptible background work).
+        seed: RNG seed for arrivals.
+    """
+
+    n_workers: int = 2
+    arrival_rate: float = 1000.0
+    prediction_time: float = 1e-3
+    training_time: float = 2.0
+    window: int = 10_000
+    n_requests: int = 50_000
+    discipline: str = "priority"
+    seed: int = 0
+
+
+@dataclass
+class ServerReport:
+    """Latency and training statistics of one simulation run."""
+
+    latencies: np.ndarray = field(repr=False)
+    training_delays: list[float] = field(default_factory=list)
+    utilisation: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean request sojourn time (wait + service), seconds."""
+        return float(self.latencies.mean())
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile request sojourn time, seconds."""
+        return float(np.percentile(self.latencies, 99))
+
+    @property
+    def max_training_delay(self) -> float:
+        """Worst completion delay of a training job, seconds."""
+        return max(self.training_delays, default=0.0)
+
+
+def simulate_server(config: ServerConfig) -> ServerReport:
+    """Run the discrete-event simulation and return latency statistics."""
+    if config.discipline not in ("fifo", "priority"):
+        raise ValueError("discipline must be 'fifo' or 'priority'")
+    if config.n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+
+    rng = np.random.default_rng(config.seed)
+    inter = rng.exponential(1.0 / config.arrival_rate, size=config.n_requests)
+    arrivals = np.cumsum(inter)
+
+    # Jobs: (arrival_time, service_time, is_training).  Training jobs arrive
+    # together with every ``window``-th request.
+    jobs: list[tuple[float, float, bool]] = []
+    for i, t in enumerate(arrivals):
+        jobs.append((float(t), config.prediction_time, False))
+        if config.window and (i + 1) % config.window == 0:
+            jobs.append((float(t), config.training_time, True))
+
+    if config.discipline == "fifo":
+        return _simulate_fifo(jobs, config)
+    return _simulate_priority(jobs, config)
+
+
+def _simulate_fifo(jobs, config: ServerConfig) -> ServerReport:
+    """All jobs share one FIFO queue over ``n_workers`` servers."""
+    # Workers become free at these times (min-heap).
+    free_at = [0.0] * config.n_workers
+    heapq.heapify(free_at)
+    latencies = []
+    training_delays = []
+    busy_time = 0.0
+    end_time = 0.0
+    for arrival, service, is_training in jobs:
+        start = max(arrival, heapq.heappop(free_at))
+        finish = start + service
+        heapq.heappush(free_at, finish)
+        busy_time += service
+        end_time = max(end_time, finish)
+        if is_training:
+            training_delays.append(finish - arrival)
+        else:
+            latencies.append(finish - arrival)
+    utilisation = busy_time / (config.n_workers * end_time) if end_time else 0.0
+    return ServerReport(
+        latencies=np.asarray(latencies),
+        training_delays=training_delays,
+        utilisation=utilisation,
+    )
+
+
+def _simulate_priority(jobs, config: ServerConfig) -> ServerReport:
+    """Requests are strictly prioritised; training soaks up idle time.
+
+    Requests are served as if training did not exist.  Training jobs then
+    consume the idle worker-time the request schedule leaves behind: a job
+    arriving at ``t`` finishes once ``training_time`` of idle worker-seconds
+    have accumulated after ``t`` (ideal preemption, zero switch cost).
+    """
+    requests = [(a, s) for a, s, tr in jobs if not tr]
+    trainings = [(a, s) for a, s, tr in jobs if tr]
+
+    free_at = [0.0] * config.n_workers
+    heapq.heapify(free_at)
+    latencies = []
+    busy_intervals: list[tuple[float, float]] = []
+    end_time = 0.0
+    for arrival, service in requests:
+        start = max(arrival, heapq.heappop(free_at))
+        finish = start + service
+        heapq.heappush(free_at, finish)
+        busy_intervals.append((start, finish))
+        latencies.append(finish - arrival)
+        end_time = max(end_time, finish)
+
+    # Idle-capacity profile: total worker-seconds minus request work, as a
+    # piecewise-linear function of time, sampled at interval boundaries.
+    events: list[tuple[float, int]] = []
+    for start, finish in busy_intervals:
+        events.append((start, +1))
+        events.append((finish, -1))
+    events.sort()
+
+    training_delays = []
+    for arrival, service in trainings:
+        # Sweep time from the arrival, accumulating idle worker-seconds.
+        idle_needed = service
+        t = arrival
+        busy = sum(1 for s, f in busy_intervals if s <= arrival < f)
+        # Replay events after the arrival.
+        idx = 0
+        while idx < len(events) and events[idx][0] <= arrival:
+            idx += 1
+        finish = None
+        while idle_needed > 1e-12:
+            next_event = events[idx][0] if idx < len(events) else float("inf")
+            idle_rate = config.n_workers - busy
+            if idle_rate > 0:
+                span = next_event - t
+                capacity = idle_rate * span
+                if capacity >= idle_needed:
+                    finish = t + idle_needed / idle_rate
+                    idle_needed = 0.0
+                    break
+                idle_needed -= capacity
+            if idx >= len(events):
+                # Past the last event everything is idle.
+                finish = next_event if next_event < float("inf") else t
+                finish = t + idle_needed / config.n_workers
+                idle_needed = 0.0
+                break
+            t = next_event
+            busy += events[idx][1]
+            idx += 1
+        training_delays.append((finish if finish is not None else t) - arrival)
+
+    busy_time = sum(f - s for s, f in busy_intervals)
+    utilisation = busy_time / (config.n_workers * end_time) if end_time else 0.0
+    return ServerReport(
+        latencies=np.asarray(latencies),
+        training_delays=training_delays,
+        utilisation=utilisation,
+    )

@@ -1,0 +1,96 @@
+"""Cache-size sweeps: hit ratios of arbitrary policies across sizes.
+
+Hit-ratio *curves* for LRU come cheap from stack distances
+(:mod:`repro.sim.hrc`); for any other policy the curve needs one
+simulation per size.  This module provides that sweep plus crossover
+analysis (at what cache size does policy A overtake policy B?) — the
+standard way caching papers compare policies across the provisioning
+range.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..cache import CachePolicy
+from ..trace import Trace
+from .hrc import HitRatioCurve
+from .runner import simulate
+
+__all__ = ["policy_hit_ratio_curve", "sweep_policies", "crossover_size"]
+
+PolicyFactory = Callable[[int], CachePolicy]
+
+
+def policy_hit_ratio_curve(
+    trace: Trace,
+    factory: PolicyFactory,
+    sizes: Sequence[int],
+    warmup_fraction: float = 0.2,
+    metric: str = "bhr",
+) -> HitRatioCurve:
+    """Simulate a policy at each cache size; return the measured curve.
+
+    Args:
+        trace: the workload.
+        factory: ``cache_size -> policy`` constructor.
+        sizes: cache sizes (bytes) to simulate.
+        warmup_fraction: excluded prefix per simulation.
+        metric: ``"bhr"``, ``"ohr"`` or ``"chr"``.
+    """
+    if metric not in ("bhr", "ohr", "chr"):
+        raise ValueError("metric must be 'bhr', 'ohr' or 'chr'")
+    if not sizes:
+        raise ValueError("need at least one cache size")
+    sizes = sorted(int(s) for s in sizes)
+    values = np.empty(len(sizes))
+    for k, size in enumerate(sizes):
+        result = simulate(trace, factory(size), warmup_fraction=warmup_fraction)
+        values[k] = getattr(result, metric)
+    return HitRatioCurve(
+        sizes=np.asarray(sizes, dtype=np.float64), bhr=values
+    )
+
+
+def sweep_policies(
+    trace: Trace,
+    factories: dict[str, PolicyFactory],
+    sizes: Sequence[int],
+    warmup_fraction: float = 0.2,
+    metric: str = "bhr",
+) -> dict[str, HitRatioCurve]:
+    """Run :func:`policy_hit_ratio_curve` for several policies."""
+    return {
+        name: policy_hit_ratio_curve(
+            trace, factory, sizes, warmup_fraction, metric
+        )
+        for name, factory in factories.items()
+    }
+
+
+def crossover_size(
+    curve_a: HitRatioCurve, curve_b: HitRatioCurve
+) -> float | None:
+    """Smallest cache size at which curve A reaches curve B.
+
+    Returns None when A never catches B on the sampled range; 0.0 when A
+    already leads at the smallest sampled size.  Uses linear interpolation
+    between samples of both curves on their union grid.
+    """
+    grid = np.union1d(curve_a.sizes, curve_b.sizes)
+    diff = np.array([curve_a.at(s) - curve_b.at(s) for s in grid])
+    if diff[0] >= 0:
+        return 0.0
+    signs = np.signbit(diff)
+    flips = np.nonzero(signs[:-1] & ~signs[1:])[0]
+    if len(flips) == 0:
+        return None
+    i = int(flips[0])
+    # Linear interpolation of the zero crossing.
+    x0, x1 = grid[i], grid[i + 1]
+    y0, y1 = diff[i], diff[i + 1]
+    if y1 == y0:
+        return float(x1)
+    return float(x0 - y0 * (x1 - x0) / (y1 - y0))

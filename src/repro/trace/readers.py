@@ -1,0 +1,133 @@
+"""Trace serialisation: text (CSV/TSV) and a compact binary format.
+
+The text format mirrors the anonymised format of the paper's production
+trace: one request per line, ``time obj size [cost]``, whitespace- or
+comma-separated.  The binary format is a little-endian numpy container for
+fast round-trips of large synthetic traces.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+import numpy as np
+
+from .record import Request, Trace
+
+__all__ = [
+    "read_text_trace",
+    "write_text_trace",
+    "read_binary_trace",
+    "write_binary_trace",
+    "iter_text_requests",
+]
+
+_MAGIC = b"LFOTRACE"
+_VERSION = 1
+
+PathOrIO = Union[str, Path, IO]
+
+
+def _open(path_or_file: PathOrIO, mode: str) -> tuple[IO, bool]:
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def iter_text_requests(path_or_file: PathOrIO) -> Iterator[Request]:
+    """Stream requests from a text trace without materialising it.
+
+    Lines starting with ``#`` and blank lines are skipped.  Fields may be
+    separated by commas or arbitrary whitespace.
+    """
+    handle, should_close = _open(path_or_file, "r")
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.replace(",", " ").split()
+            if len(parts) not in (3, 4):
+                raise ValueError(
+                    f"line {lineno}: expected 3 or 4 fields, got {len(parts)}"
+                )
+            time = float(parts[0])
+            obj = int(parts[1])
+            size = int(parts[2])
+            cost = float(parts[3]) if len(parts) == 4 else -1.0
+            yield Request(time, obj, size, cost)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_text_trace(path_or_file: PathOrIO, name: str = "trace") -> Trace:
+    """Read a whole text trace into memory."""
+    return Trace(list(iter_text_requests(path_or_file)), name=name)
+
+
+def write_text_trace(
+    trace_or_requests: Union[Trace, Iterable[Request]],
+    path_or_file: PathOrIO,
+    include_cost: bool = True,
+) -> None:
+    """Write a trace as whitespace-separated text."""
+    handle, should_close = _open(path_or_file, "w")
+    try:
+        handle.write("# time obj size" + (" cost" if include_cost else "") + "\n")
+        for r in trace_or_requests:
+            if include_cost:
+                handle.write(f"{r.time:g} {r.obj} {r.size} {r.cost:g}\n")
+            else:
+                handle.write(f"{r.time:g} {r.obj} {r.size}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_binary_trace(trace: Trace, path_or_file: PathOrIO) -> None:
+    """Write a trace in the compact binary container format.
+
+    Layout: 8-byte magic, uint32 version, uint64 count, then four contiguous
+    arrays (times f8, objs i8, sizes i8, costs f8), all little-endian.
+    """
+    handle, should_close = _open(path_or_file, "wb")
+    try:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<IQ", _VERSION, len(trace)))
+        handle.write(trace.times.astype("<f8").tobytes())
+        handle.write(trace.objs.astype("<i8").tobytes())
+        handle.write(trace.sizes.astype("<i8").tobytes())
+        handle.write(trace.costs.astype("<f8").tobytes())
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_binary_trace(path_or_file: PathOrIO, name: str = "trace") -> Trace:
+    """Read a trace written by :func:`write_binary_trace`."""
+    handle, should_close = _open(path_or_file, "rb")
+    try:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError("not an LFO binary trace (bad magic)")
+        version, count = struct.unpack("<IQ", handle.read(12))
+        if version != _VERSION:
+            raise ValueError(f"unsupported trace version {version}")
+        times = np.frombuffer(handle.read(8 * count), dtype="<f8")
+        objs = np.frombuffer(handle.read(8 * count), dtype="<i8")
+        sizes = np.frombuffer(handle.read(8 * count), dtype="<i8")
+        costs = np.frombuffer(handle.read(8 * count), dtype="<f8")
+        if len(costs) != count:
+            raise ValueError("truncated binary trace")
+        requests = [
+            Request(float(t), int(o), int(s), float(c))
+            for t, o, s, c in zip(times, objs, sizes, costs)
+        ]
+        return Trace(requests, name=name)
+    finally:
+        if should_close:
+            handle.close()

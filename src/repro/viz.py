@@ -1,0 +1,119 @@
+"""Terminal-friendly ASCII charts for the benchmark reports.
+
+The benchmark suite regenerates the *data* behind each paper figure; these
+helpers render that data as horizontal bar charts (Figures 1, 6, 8) and
+line charts (Figures 5a, 5b, 7) directly into the text reports, so the
+shape of each figure is visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["bar_chart", "line_chart", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    items: Mapping[str, float] | Sequence[tuple[str, float]],
+    width: int = 40,
+    fmt: str = "{:.4f}",
+) -> str:
+    """Horizontal bar chart, one row per (label, value).
+
+    Values must be non-negative; bars scale to the maximum.
+    """
+    pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
+    if not pairs:
+        return "(empty chart)"
+    values = [v for _, v in pairs]
+    if min(values) < 0:
+        raise ValueError("bar_chart requires non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(str(label)) for label, _ in pairs)
+    lines = []
+    for label, value in pairs:
+        bar = "#" * int(round(width * value / peak))
+        lines.append(
+            f"{label:<{label_width}} |{bar:<{width}} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """ASCII line chart of one or more series over a shared x axis.
+
+    Each series is drawn with its own marker; the first characters of the
+    series names are used when distinct, otherwise letters a, b, c, ...
+    """
+    if not series:
+        return "(empty chart)"
+    x = np.asarray(x, dtype=np.float64)
+    names = list(series)
+    markers = []
+    used = set()
+    alphabet = iter("abcdefghijklmnopqrstuvwxyz")
+    for name in names:
+        c = name[0]
+        if c in used:
+            c = next(a for a in alphabet if a not in used)
+        used.add(c)
+        markers.append(c)
+
+    all_y = np.concatenate([np.asarray(series[n], dtype=np.float64) for n in names])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, marker in zip(names, markers):
+        ys = np.asarray(series[name], dtype=np.float64)
+        for xi, yi in zip(x, ys):
+            col = int(round((xi - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yi - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(gutter)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width // 2) + f"{x_max:.3g}".rjust(width // 2)
+    lines.append(" " * (gutter + 1) + x_axis)
+    legend = "  ".join(f"{m}={n}" for n, m in zip(names, markers))
+    footer = " ".join(filter(None, [x_label, f"[{legend}]", y_label]))
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline (for windowed BHR series)."""
+    vals = np.asarray(list(values), dtype=np.float64)
+    if len(vals) == 0:
+        return ""
+    lo, hi = float(vals.min()), float(vals.max())
+    if hi == lo:
+        return _BLOCKS[0] * len(vals)
+    idx = ((vals - lo) / (hi - lo) * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in idx)

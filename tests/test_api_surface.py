@@ -1,0 +1,130 @@
+"""Coverage for smaller API corners across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import TieredLFOCache
+from repro.flow import FlowNetwork, solve_min_cost_flow
+from repro.gbdt import GBDTParams, GBDTRegressor
+from repro.opt import opt_hit_ratios, solve_opt
+from repro.sim import HitRatioCurve, run_experiment
+from repro.trace import CostModel, Request, Trace
+from repro.viz import bar_chart, line_chart
+
+
+class TestFlowAccessors:
+    def test_arc_flow_rejects_reverse_index(self):
+        net = FlowNetwork(2)
+        arc = net.add_arc(0, 1, 5, 1.0)
+        with pytest.raises(ValueError):
+            net.arc_flow(arc + 1)
+
+    def test_arc_flow_after_solve(self):
+        net = FlowNetwork(2)
+        arc = net.add_arc(0, 1, 5, 1.0)
+        net.add_supply(0, 3)
+        net.add_supply(1, -3)
+        solve_min_cost_flow(net)
+        assert net.arc_flow(arc) == 3
+
+    def test_forward_arcs_iteration(self):
+        net = FlowNetwork(3)
+        net.add_arc(0, 1, 1, 0.0)
+        net.add_arc(1, 2, 1, 0.0)
+        assert list(net.forward_arcs()) == [0, 2]
+
+
+class TestOptHitRatioEdges:
+    def test_all_unique_objects_zero_ratio(self):
+        trace = Trace([Request(i, i, 5) for i in range(10)])
+        result = solve_opt(trace, cache_size=100)
+        bhr, ohr = opt_hit_ratios(trace, result)
+        assert bhr == 0.0 and ohr == 0.0
+
+    def test_perfect_cache_full_reuse(self):
+        trace = Trace([Request(i, i % 2, 5) for i in range(10)])
+        result = solve_opt(trace, cache_size=100)
+        bhr, ohr = opt_hit_ratios(trace, result)
+        assert ohr == pytest.approx(8 / 10)
+        assert bhr == pytest.approx(8 / 10)
+
+
+class TestTieredPlacementKnobs:
+    def test_tier_of_unknown_is_none(self):
+        cache = TieredLFOCache(ram_size=10, ssd_size=10, n_gaps=3)
+        assert cache.tier_of(42) is None
+
+    def test_aggregate_views(self):
+        cache = TieredLFOCache(ram_size=30, ssd_size=70, n_gaps=3)
+        assert cache.cache_size == 100
+        cache.on_request(Request(0, 1, 20))
+        assert cache.free_bytes == 80
+
+
+class TestRegressorStaged:
+    def test_staged_matches_final(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(600, 2))
+        y = X[:, 0] * 2.0
+        model = GBDTRegressor(GBDTParams(num_iterations=6)).fit(X, y)
+        stages = list(model.staged_predict_raw(X[:50]))
+        assert len(stages) == 6
+        assert np.allclose(stages[-1], model.predict(X[:50]))
+
+
+class TestVizCorners:
+    def test_bar_chart_custom_format(self):
+        chart = bar_chart({"x": 0.123456}, fmt="{:.2f}")
+        assert "0.12" in chart
+
+    def test_line_chart_single_point(self):
+        chart = line_chart([1.0], {"s": [0.5]})
+        assert "s" in chart
+
+
+class TestCostModelComposition:
+    def test_ohr_then_bhr_roundtrip(self, paper_trace):
+        ohr = CostModel.apply(paper_trace.requests, CostModel.OHR)
+        back = CostModel.apply(ohr, CostModel.BHR)
+        assert [r.cost for r in back] == [float(r.size) for r in paper_trace]
+
+
+class TestExperimentWarmup:
+    def test_warmup_changes_reported_ratio(self):
+        spec = {
+            "trace": {"kind": "zipf", "n_requests": 1500, "n_objects": 150,
+                      "size_median": 20, "size_max": 300, "seed": 8},
+            "cache": {"fraction": 5},
+            "policies": ["LRU"],
+        }
+        cold = run_experiment({**spec, "warmup": 0.0})
+        warm = run_experiment({**spec, "warmup": 0.5})
+        # Warm measurement excludes the cold-start misses.
+        assert warm["results"]["LRU"]["bhr"] >= cold["results"]["LRU"]["bhr"]
+
+
+class TestCLICacheMb:
+    def test_cache_mb_flag(self, tmp_path, capsys):
+        path = tmp_path / "t.bin"
+        assert main([
+            "generate", "--requests", "800", "--objects", "100",
+            "--size-median", "20", "--size-max", "300",
+            "--out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare", str(path), "--policies", "LRU",
+            "--cache-mb", "0.001",
+        ]) == 0
+        assert "LRU" in capsys.readouterr().out
+
+
+class TestHitRatioCurveAt:
+    def test_interpolation_and_clamping(self):
+        curve = HitRatioCurve(
+            sizes=np.array([10.0, 20.0]), bhr=np.array([0.2, 0.6])
+        )
+        assert curve.at(15) == pytest.approx(0.4)
+        assert curve.at(5) == pytest.approx(0.2)   # clamped below
+        assert curve.at(100) == pytest.approx(0.6)  # clamped above

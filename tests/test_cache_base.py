@@ -1,0 +1,136 @@
+"""Invariant tests that every cache policy must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    AdaptSizeCache,
+    ClockCache,
+    FIFOCache,
+    GDSCache,
+    GDSFCache,
+    GDWheelCache,
+    HyperbolicCache,
+    LFUCache,
+    LFUDACache,
+    LHDCache,
+    LRUCache,
+    LRUKCache,
+    RandomCache,
+    RLCache,
+    S4LRUCache,
+    TinyLFUCache,
+    TwoQCache,
+)
+from repro.trace import Request, SyntheticConfig, Trace, generate_trace
+
+ALL_POLICIES = [
+    RandomCache,
+    LRUCache,
+    LRUKCache,
+    LFUCache,
+    LFUDACache,
+    S4LRUCache,
+    GDSFCache,
+    GDWheelCache,
+    AdaptSizeCache,
+    HyperbolicCache,
+    LHDCache,
+    TinyLFUCache,
+    RLCache,
+    FIFOCache,
+    ClockCache,
+    GDSCache,
+    TwoQCache,
+]
+
+
+def _drive(policy, trace):
+    hits = []
+    for request in trace:
+        hits.append(policy.on_request(request))
+    return np.array(hits)
+
+
+@pytest.fixture(scope="module")
+def drive_trace():
+    return generate_trace(
+        SyntheticConfig(
+            n_requests=3000, n_objects=250, alpha=0.9,
+            size_median=15, size_sigma=1.0, size_max=300, seed=77,
+        )
+    )
+
+
+@pytest.mark.parametrize("policy_cls", ALL_POLICIES)
+class TestPolicyInvariants:
+    def test_capacity_never_exceeded(self, policy_cls, drive_trace):
+        policy = policy_cls(cache_size=1000)
+        for request in drive_trace:
+            policy.on_request(request)
+            assert policy.used_bytes <= policy.cache_size
+            assert policy.used_bytes >= 0
+
+    def test_hit_requires_prior_request(self, policy_cls, drive_trace):
+        policy = policy_cls(cache_size=1000)
+        seen = set()
+        for request in drive_trace:
+            hit = policy.on_request(request)
+            if hit:
+                assert request.obj in seen
+            seen.add(request.obj)
+
+    def test_oversized_object_bypassed(self, policy_cls):
+        policy = policy_cls(cache_size=100)
+        assert policy.on_request(Request(0, 1, 200)) is False
+        assert not policy.contains(1)
+        assert policy.used_bytes == 0
+
+    def test_repeated_requests_eventually_hit(self, policy_cls):
+        """Any sane policy caches a monomaniac workload."""
+        policy = policy_cls(cache_size=1000)
+        hits = [policy.on_request(Request(t, 1, 10)) for t in range(50)]
+        assert sum(hits) >= 25  # RL explores; others hit ~49 times
+
+    def test_used_bytes_matches_entries(self, policy_cls, drive_trace):
+        policy = policy_cls(cache_size=2000)
+        _drive(policy, drive_trace)
+        assert policy.used_bytes == sum(policy._entries.values())
+        assert policy.n_objects == len(policy._entries)
+
+    def test_reset_clears_state(self, policy_cls, drive_trace):
+        policy = policy_cls(cache_size=2000)
+        _drive(policy, drive_trace[:500])
+        policy.reset()
+        assert policy.used_bytes == 0
+        assert policy.n_objects == 0
+        # The policy still works after a reset.
+        policy.on_request(Request(0, 1, 10))
+
+    def test_invalid_cache_size(self, policy_cls):
+        with pytest.raises(ValueError):
+            policy_cls(cache_size=0)
+
+    def test_beats_no_cache(self, policy_cls, drive_trace):
+        """Every policy gets a nonzero hit ratio on a Zipf workload with a
+        reasonably sized cache."""
+        policy = policy_cls(cache_size=3000)
+        hits = _drive(policy, drive_trace)
+        assert hits.mean() > 0.05
+
+
+@pytest.mark.parametrize("policy_cls", ALL_POLICIES)
+@given(seed=st.integers(0, 100))
+@settings(max_examples=5, deadline=None)
+def test_capacity_property_random_workloads(policy_cls, seed):
+    """Capacity invariant under random workloads with huge size variance."""
+    rng = np.random.default_rng(seed)
+    policy = policy_cls(cache_size=500)
+    sizes = {}
+    for t in range(400):
+        obj = int(rng.integers(0, 50))
+        size = sizes.setdefault(obj, int(rng.integers(1, 400)))
+        policy.on_request(Request(float(t), obj, size))
+        assert 0 <= policy.used_bytes <= 500

@@ -1,0 +1,97 @@
+"""Behavioural tests for FIFO, CLOCK, GDS and 2Q."""
+
+import pytest
+
+from repro.cache import ClockCache, FIFOCache, GDSCache, TwoQCache
+from repro.trace import Request
+
+
+def _fill(policy, objects, t0=0.0):
+    t = t0
+    for obj, size in objects:
+        policy.on_request(Request(t, obj, size))
+        t += 1.0
+    return t
+
+
+class TestFIFO:
+    def test_evicts_in_insertion_order(self):
+        policy = FIFOCache(cache_size=30)
+        _fill(policy, [(1, 10), (2, 10), (3, 10)])
+        policy.on_request(Request(3, 1, 10))  # hit must NOT refresh
+        policy.on_request(Request(4, 4, 10))
+        assert not policy.contains(1)
+        assert policy.contains(2)
+
+    def test_differs_from_lru(self):
+        """The defining FIFO/LRU difference: hits don't move objects."""
+        from repro.cache import LRUCache
+
+        sequence = [(1, 10), (2, 10), (3, 10)]
+        fifo, lru = FIFOCache(30), LRUCache(30)
+        _fill(fifo, sequence)
+        _fill(lru, sequence)
+        for policy in (fifo, lru):
+            policy.on_request(Request(5, 1, 10))
+            policy.on_request(Request(6, 9, 10))
+        assert not fifo.contains(1)
+        assert lru.contains(1)
+
+
+class TestClock:
+    def test_second_chance(self):
+        policy = ClockCache(cache_size=30)
+        _fill(policy, [(1, 10), (2, 10), (3, 10)])
+        policy.on_request(Request(3, 1, 10))  # sets 1's reference bit
+        policy.on_request(Request(4, 4, 10))  # hand skips 1, evicts 2
+        assert policy.contains(1)
+        assert not policy.contains(2)
+
+    def test_bit_cleared_after_pass(self):
+        policy = ClockCache(cache_size=20)
+        _fill(policy, [(1, 10), (2, 10)])
+        policy.on_request(Request(2, 1, 10))  # ref bit on 1
+        policy.on_request(Request(3, 3, 10))  # evicts 2 (1 spared, bit off)
+        policy.on_request(Request(4, 4, 10))  # now 1 goes
+        assert not policy.contains(1)
+        assert policy.contains(3) and policy.contains(4)
+
+
+class TestGDS:
+    def test_size_aware_no_frequency(self):
+        policy = GDSCache(cache_size=30, )
+        # Hit the big object many times: GDS (unlike GDSF) gains nothing.
+        for t in range(5):
+            policy.on_request(Request(float(t), 1, 20, 1.0))
+        policy.on_request(Request(6, 2, 10, 1.0))
+        policy.on_request(Request(7, 3, 20, 1.0))
+        # Priority of 1 is age + 1/20, of 2 is age + 1/10: 1 evicted first.
+        assert not policy.contains(1)
+        assert policy.contains(2)
+
+
+class TestTwoQ:
+    def test_ghost_promotion(self):
+        policy = TwoQCache(cache_size=40, probation_fraction=0.25)
+        policy.on_request(Request(0, 1, 10))  # probation
+        # Push 1 out of probation with fresh objects.
+        _fill(policy, [(2, 10), (3, 10), (4, 10), (5, 10)], t0=1.0)
+        assert not policy.contains(1)
+        # Re-request: ghost hit -> protected space.
+        policy.on_request(Request(9, 1, 10))
+        assert policy.contains(1)
+        assert 1 in policy._am
+
+    def test_scan_resistance(self):
+        """A long scan must not evict protected objects."""
+        policy = TwoQCache(cache_size=40, probation_fraction=0.25)
+        policy.on_request(Request(0, 1, 10))
+        _fill(policy, [(2, 10), (3, 10), (4, 10), (5, 10)], t0=1.0)
+        policy.on_request(Request(9, 1, 10))  # 1 promoted to Am
+        for i in range(100):
+            policy.on_request(Request(20.0 + i, 1000 + i, 10))
+        assert policy.contains(1)
+
+    def test_invalid_probation_fraction(self):
+        with pytest.raises(ValueError):
+            TwoQCache(cache_size=10, probation_fraction=1.5)

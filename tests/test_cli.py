@@ -1,0 +1,95 @@
+"""Tests for the ``lfo`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace import read_binary_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "t.bin"
+    code = main([
+        "generate", "--requests", "2000", "--objects", "300",
+        "--size-median", "20", "--size-max", "500",
+        "--seed", "3", "--out", str(path),
+    ])
+    assert code == 0
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_binary_output(self, trace_file):
+        trace = read_binary_trace(trace_file)
+        assert len(trace) == 2000
+
+    def test_text_output(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        assert main(["generate", "--requests", "100", "--out", str(path)]) == 0
+        assert "wrote 100 requests" in capsys.readouterr().out
+        assert path.exists()
+
+
+class TestStats:
+    def test_prints_summary(self, trace_file, capsys):
+        assert main(["stats", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "n_requests" in out
+        assert "one_hit_wonder_ratio" in out
+
+
+class TestOpt:
+    def test_bounds_printed(self, trace_file, capsys):
+        assert main([
+            "opt", trace_file, "--cache-fraction", "10",
+            "--segment", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OPT admits" in out
+        assert "OPT BHR bounds" in out
+
+
+class TestCompare:
+    def test_subset_table(self, trace_file, capsys):
+        assert main([
+            "compare", trace_file, "--policies", "LRU,GDSF",
+            "--cache-fraction", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "LRU" in out and "GDSF" in out
+
+    def test_explicit_cache_bytes(self, trace_file, capsys):
+        assert main([
+            "compare", trace_file, "--policies", "LRU",
+            "--cache-bytes", "2000",
+        ]) == 0
+        assert "LRU" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_online_lfo_runs(self, trace_file, capsys):
+        assert main([
+            "simulate", trace_file, "--cache-fraction", "10",
+            "--window", "1000", "--segment", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "BHR" in out
+        assert "retrains" in out
+
+
+class TestHrc:
+    def test_curve_printed(self, trace_file, capsys):
+        assert main(["hrc", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "hit-ratio curve" in out
+        assert "compulsory-miss limit" in out

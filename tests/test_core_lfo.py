@@ -1,0 +1,192 @@
+"""Tests for the LFO model and cache policy."""
+
+import numpy as np
+import pytest
+
+from repro.core import LFOCache, LFOModel
+from repro.features import Dataset, FeatureTracker, feature_names
+from repro.gbdt import GBDTParams
+from repro.trace import Request
+
+
+def _toy_model(cutoff=0.5, n_gaps=4, positive_small=True):
+    """A model trained to admit small objects (or large, when inverted)."""
+    rng = np.random.default_rng(0)
+    n = 2000
+    names = feature_names(n_gaps)
+    X = np.zeros((n, len(names)))
+    X[:, 0] = rng.integers(1, 100, size=n)  # size
+    X[:, 1] = X[:, 0]
+    X[:, 2] = rng.integers(0, 1000, size=n)
+    X[:, 3:] = rng.exponential(10, size=(n, n_gaps))
+    if positive_small:
+        y = (X[:, 0] < 50).astype(float)
+    else:
+        y = (X[:, 0] >= 50).astype(float)
+    ds = Dataset(X, y, names)
+    return LFOModel.train(
+        ds, params=GBDTParams(num_iterations=10), cutoff=cutoff
+    )
+
+
+class TestLFOModel:
+    def test_likelihood_shape(self):
+        model = _toy_model()
+        X = np.zeros((5, 3 + 4))
+        X[:, 0] = [10, 20, 60, 80, 90]
+        p = model.likelihood(X)
+        assert p.shape == (5,)
+
+    def test_learned_size_rule(self):
+        model = _toy_model()
+        small = np.zeros(7)
+        small[0] = 10
+        small[1] = 10
+        big = small.copy()
+        big[0] = 90
+        big[1] = 90
+        assert model.admit(small)
+        assert not model.admit(big)
+
+    def test_prediction_error_zero_on_learnable_rule(self):
+        model = _toy_model()
+        X = np.zeros((100, 7))
+        X[:, 0] = np.linspace(1, 99, 100)
+        X[:, 1] = X[:, 0]
+        y = (X[:, 0] < 50).astype(float)
+        assert model.prediction_error(X, y) < 0.05
+
+    def test_cutoff_changes_decisions(self):
+        lenient = _toy_model(cutoff=0.01)
+        strict = _toy_model(cutoff=0.99)
+        borderline = np.zeros(7)
+        borderline[0] = 49
+        borderline[1] = 49
+        assert lenient.admit(borderline) or not strict.admit(borderline)
+
+
+class TestLFOCache:
+    def test_cold_start_behaves_like_lru(self):
+        policy = LFOCache(cache_size=20, model=None, n_gaps=4)
+        policy.on_request(Request(0, 1, 10))
+        policy.on_request(Request(1, 2, 10))
+        policy.on_request(Request(2, 1, 10))  # refresh 1
+        policy.on_request(Request(3, 3, 10))  # evicts 2 (LRU)
+        assert policy.contains(1)
+        assert not policy.contains(2)
+
+    def test_admission_follows_model(self):
+        model = _toy_model(n_gaps=4)
+        policy = LFOCache(cache_size=1000, model=model, n_gaps=4)
+        policy.on_request(Request(0, 1, 10))   # small: admitted
+        policy.on_request(Request(1, 2, 90))   # large: rejected
+        assert policy.contains(1)
+        assert not policy.contains(2)
+
+    def test_eviction_targets_lowest_likelihood(self):
+        model = _toy_model(n_gaps=4)
+        policy = LFOCache(cache_size=70, model=model, n_gaps=4)
+        policy.on_request(Request(0, 1, 40))  # small-ish: mid likelihood
+        policy.on_request(Request(1, 2, 10))  # small: high likelihood
+        policy.on_request(Request(2, 3, 30))  # forces eviction of obj 1
+        assert not policy.contains(1)
+        assert policy.contains(2)
+        assert policy.contains(3)
+
+    def test_rescore_on_hit(self):
+        model = _toy_model(n_gaps=4)
+        policy = LFOCache(cache_size=100, model=model, n_gaps=4)
+        policy.on_request(Request(0, 1, 10))
+        before = policy._score[1]
+        policy.on_request(Request(50.0, 1, 10))
+        after = policy._score[1]
+        # The score was recomputed (gap features changed the input).
+        assert before != after or policy._stamp[1] == policy._counter
+
+    def test_capacity_invariant_with_model(self):
+        model = _toy_model(n_gaps=4)
+        policy = LFOCache(cache_size=150, model=model, n_gaps=4)
+        rng = np.random.default_rng(1)
+        sizes = {}
+        for t in range(400):
+            obj = int(rng.integers(0, 60))
+            size = sizes.setdefault(obj, int(rng.integers(1, 80)))
+            policy.on_request(Request(float(t), obj, size))
+            assert 0 <= policy.used_bytes <= 150
+
+    def test_set_model_swaps_behaviour(self):
+        policy = LFOCache(cache_size=1000, model=None, n_gaps=4)
+        policy.on_request(Request(0, 1, 90))  # cold start admits anything
+        assert policy.contains(1)
+        policy.set_model(_toy_model(n_gaps=4))
+        policy.on_request(Request(1, 2, 90))  # now rejected: too large
+        assert not policy.contains(2)
+
+    def test_last_features_exposed(self):
+        policy = LFOCache(cache_size=100, n_gaps=4)
+        policy.on_request(Request(0, 1, 10))
+        assert policy.last_features is not None
+        assert policy.last_features[0] == 10
+
+    def test_reset(self):
+        policy = LFOCache(cache_size=100, model=_toy_model(n_gaps=4), n_gaps=4)
+        policy.on_request(Request(0, 1, 10))
+        policy.reset()
+        assert policy.used_bytes == 0
+        assert policy.last_features is None
+
+    def test_tracker_shared(self):
+        tracker = FeatureTracker(n_gaps=4)
+        policy = LFOCache(cache_size=100, n_gaps=4, tracker=tracker)
+        policy.on_request(Request(0, 1, 10))
+        assert tracker.n_tracked == 1
+
+
+class TestLFOVariants:
+    def test_invalid_eviction_mode(self):
+        with pytest.raises(ValueError):
+            LFOCache(cache_size=100, eviction="random")
+
+    def test_invalid_rescore_interval(self):
+        with pytest.raises(ValueError):
+            LFOCache(cache_size=100, rescore_interval=-1)
+
+    def test_lru_eviction_ignores_scores(self):
+        model = _toy_model(n_gaps=4)
+        policy = LFOCache(
+            cache_size=70, model=model, n_gaps=4, eviction="lru"
+        )
+        policy.on_request(Request(0, 1, 40))  # mid likelihood, oldest
+        policy.on_request(Request(1, 2, 10))  # high likelihood
+        policy.on_request(Request(2, 3, 30))  # needs space -> evict LRU (1)
+        assert not policy.contains(1)
+        assert policy.contains(2)
+
+    def test_rescore_refreshes_stale_ranks(self):
+        model = _toy_model(n_gaps=4)
+        policy = LFOCache(
+            cache_size=1000, model=model, n_gaps=4, rescore_interval=3
+        )
+        policy.on_request(Request(0.0, 1, 10))
+        stale = policy._score[1]
+        # Two more requests trigger the batch rescore at request #3.
+        policy.on_request(Request(50.0, 2, 10))
+        policy.on_request(Request(100.0, 3, 10))
+        refreshed = policy._score[1]
+        # Object 1's gap_1 grew from 0 to 100: the score must have been
+        # recomputed (stamp advanced even if the value barely moved).
+        assert policy._stamp[1] > 1
+        assert isinstance(refreshed, float) and isinstance(stale, float)
+
+    def test_rescore_capacity_invariant(self):
+        model = _toy_model(n_gaps=4)
+        policy = LFOCache(
+            cache_size=150, model=model, n_gaps=4, rescore_interval=10
+        )
+        rng = np.random.default_rng(3)
+        sizes = {}
+        for t in range(300):
+            obj = int(rng.integers(0, 40))
+            size = sizes.setdefault(obj, int(rng.integers(1, 60)))
+            policy.on_request(Request(float(t), obj, size))
+            assert 0 <= policy.used_bytes <= 150

@@ -1,0 +1,172 @@
+"""Tests for the online feature tracker and dataset assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import (
+    MISSING_GAP,
+    Dataset,
+    FeatureTracker,
+    build_dataset,
+    build_features,
+    feature_names,
+    thin_gaps,
+)
+from repro.trace import Request, Trace
+
+
+class TestFeatureNames:
+    def test_layout(self):
+        names = feature_names(3)
+        assert names == ["size", "cost", "free_bytes", "gap_1", "gap_2", "gap_3"]
+
+
+class TestFeatureTracker:
+    def test_first_request_all_gaps_missing(self):
+        tracker = FeatureTracker(n_gaps=5)
+        vec = tracker.features(Request(10.0, 1, 100), free_bytes=500)
+        assert vec[0] == 100  # size
+        assert vec[1] == 100  # cost defaults to size
+        assert vec[2] == 500  # free bytes
+        assert (vec[3:] == MISSING_GAP).all()
+
+    def test_gap_one_is_time_since_last_request(self):
+        tracker = FeatureTracker(n_gaps=5)
+        tracker.update(Request(10.0, 1, 100))
+        vec = tracker.features(Request(17.0, 1, 100), free_bytes=0)
+        assert vec[3] == 7.0
+        assert (vec[4:] == MISSING_GAP).all()
+
+    def test_gap_sequence_most_recent_first(self):
+        tracker = FeatureTracker(n_gaps=4)
+        for t in (0.0, 1.0, 3.0, 6.0):
+            tracker.update(Request(t, 1, 10))
+        vec = tracker.features(Request(10.0, 1, 10), free_bytes=0)
+        # gaps: now-6=4, 6-3=3, 3-1=2, 1-0=1
+        assert vec[3:].tolist() == [4.0, 3.0, 2.0, 1.0]
+
+    def test_gap_shift_invariance(self):
+        """Shifting all timestamps leaves gaps 2..n unchanged and gap_1
+        depends only on the distance to now — the paper's robustness
+        argument for the gap (not absolute-time) representation."""
+        def gaps_for(offset):
+            tracker = FeatureTracker(n_gaps=3)
+            for t in (0.0, 2.0, 5.0):
+                tracker.update(Request(t + offset, 1, 10))
+            return tracker.features(
+                Request(9.0 + offset, 1, 10), free_bytes=0
+            )[3:]
+        assert gaps_for(0.0).tolist() == gaps_for(1234.5).tolist()
+
+    def test_ring_buffer_keeps_latest(self):
+        tracker = FeatureTracker(n_gaps=2)
+        for t in range(10):
+            tracker.update(Request(float(t), 1, 10))
+        vec = tracker.features(Request(20.0, 1, 10), free_bytes=0)
+        assert vec[3] == 11.0  # 20 - 9
+        assert vec[4] == 1.0  # 9 - 8
+
+    def test_last_cost_tracked(self):
+        tracker = FeatureTracker(n_gaps=2)
+        tracker.update(Request(0.0, 1, 10, 99.0))
+        vec = tracker.features(Request(1.0, 1, 10, 5.0), free_bytes=0)
+        assert vec[1] == 99.0  # most recent *retrieval* cost
+
+    def test_objects_independent(self):
+        tracker = FeatureTracker(n_gaps=2)
+        tracker.update(Request(0.0, 1, 10))
+        vec = tracker.features(Request(5.0, 2, 20), free_bytes=0)
+        assert (vec[3:] == MISSING_GAP).all()
+
+    def test_max_objects_evicts_lru_state(self):
+        tracker = FeatureTracker(n_gaps=2, max_objects=2)
+        tracker.update(Request(0.0, 1, 10))
+        tracker.update(Request(1.0, 2, 10))
+        tracker.update(Request(2.0, 3, 10))
+        assert tracker.n_tracked == 2
+        vec = tracker.features(Request(3.0, 1, 10), free_bytes=0)
+        assert (vec[3:] == MISSING_GAP).all()  # object 1 was forgotten
+
+    def test_forget(self):
+        tracker = FeatureTracker(n_gaps=2)
+        tracker.update(Request(0.0, 1, 10))
+        tracker.forget(1)
+        assert tracker.n_tracked == 0
+
+    def test_memory_accounting_positive(self):
+        tracker = FeatureTracker(n_gaps=50)
+        tracker.update(Request(0.0, 1, 10))
+        # The paper's naive estimate: 208 B per object at 50 gaps.
+        assert tracker.memory_bytes_naive() == 208
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            FeatureTracker(n_gaps=0)
+        with pytest.raises(ValueError):
+            FeatureTracker(max_objects=-1)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_gaps_are_positive_and_ordered_property(self, deltas):
+        """All produced gaps are positive and chronologically consistent."""
+        tracker = FeatureTracker(n_gaps=50)
+        t = 0.0
+        for d in deltas:
+            tracker.update(Request(t, 1, 10))
+            t += d
+        vec = tracker.features(Request(t, 1, 10), free_bytes=0)
+        gaps = vec[3:]
+        real = gaps[gaps != MISSING_GAP]
+        assert (real > 0).all()
+        assert len(real) == min(len(deltas), 50)
+
+
+class TestBuildDataset:
+    def test_feature_matrix_shape(self, paper_trace):
+        tracker = FeatureTracker(n_gaps=4)
+        X = build_features(paper_trace, tracker, cache_size=100)
+        assert X.shape == (12, 7)
+
+    def test_free_bytes_fn_used(self, paper_trace):
+        tracker = FeatureTracker(n_gaps=2)
+        X = build_features(
+            paper_trace, tracker, free_bytes_fn=lambda i: i * 10
+        )
+        assert (X[:, 2] == np.arange(12) * 10).all()
+
+    def test_build_dataset_pairs_labels(self, paper_trace):
+        decisions = np.zeros(12, dtype=bool)
+        decisions[0] = True
+        ds = build_dataset(paper_trace, decisions, cache_size=10)
+        assert len(ds) == 12
+        assert ds.y[0] == 1.0
+        assert ds.names[0] == "size"
+
+    def test_label_length_mismatch_rejected(self, paper_trace):
+        with pytest.raises(ValueError):
+            build_dataset(paper_trace, np.zeros(5), cache_size=10)
+
+    def test_subset(self, paper_trace):
+        ds = build_dataset(paper_trace, np.zeros(12), cache_size=10)
+        sub = ds.subset(np.array([0, 3, 5]))
+        assert len(sub) == 3
+        assert (sub.X[1] == ds.X[3]).all()
+
+
+class TestThinGaps:
+    def test_keeps_requested_gaps(self, paper_trace):
+        ds = build_dataset(paper_trace, np.zeros(12), cache_size=10)
+        thinned = thin_gaps(ds, [1, 2, 4, 8, 16])
+        assert thinned.names == [
+            "size", "cost", "free_bytes",
+            "gap_1", "gap_2", "gap_4", "gap_8", "gap_16",
+        ]
+        assert thinned.X.shape == (12, 8)
+
+    def test_column_content_preserved(self, paper_trace):
+        ds = build_dataset(paper_trace, np.zeros(12), cache_size=10)
+        thinned = thin_gaps(ds, [3])
+        original_col = ds.names.index("gap_3")
+        assert (thinned.X[:, 3] == ds.X[:, original_col]).all()

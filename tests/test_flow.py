@@ -1,0 +1,171 @@
+"""Tests for the min-cost flow substrate, including randomised
+cross-validation against networkx's exact network simplex."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import (
+    FlowNetwork,
+    InfeasibleFlowError,
+    check_flow,
+    solve_min_cost_flow,
+    solve_with_networkx,
+)
+
+
+def _snapshot_capacities(net: FlowNetwork) -> dict[int, int]:
+    return {arc: net.arc_cap[arc] for arc in net.forward_arcs()}
+
+
+class TestFlowNetwork:
+    def test_arc_indexing(self):
+        net = FlowNetwork(3)
+        a = net.add_arc(0, 1, 5, 2.0)
+        b = net.add_arc(1, 2, 3, 1.0)
+        assert a == 0 and b == 2  # forward arcs at even indices
+        assert net.n_arcs == 2
+        assert net.arc_tail(a) == 0
+        assert net.arc_to[a] == 1
+
+    def test_supply_balance(self):
+        net = FlowNetwork(2)
+        net.add_supply(0, 5)
+        assert not net.is_balanced()
+        net.add_supply(1, -5)
+        assert net.is_balanced()
+        assert net.total_supply() == 5
+
+    def test_invalid_node_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(IndexError):
+            net.add_arc(0, 5, 1, 0.0)
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_arc(0, 1, -1, 0.0)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(0)
+
+
+class TestSolver:
+    def test_single_path(self):
+        net = FlowNetwork(3)
+        net.add_arc(0, 1, 10, 1.0)
+        net.add_arc(1, 2, 10, 2.0)
+        net.add_supply(0, 4)
+        net.add_supply(2, -4)
+        result = solve_min_cost_flow(net)
+        assert result.total_cost == 4 * 3.0
+
+    def test_prefers_cheap_path(self):
+        net = FlowNetwork(4)
+        cheap = net.add_arc(0, 1, 10, 1.0)
+        net.add_arc(1, 3, 10, 1.0)
+        expensive = net.add_arc(0, 2, 10, 5.0)
+        net.add_arc(2, 3, 10, 5.0)
+        net.add_supply(0, 5)
+        net.add_supply(3, -5)
+        result = solve_min_cost_flow(net)
+        assert result.total_cost == 10.0
+        assert result.flow[cheap] == 5
+        assert result.flow[expensive] == 0
+
+    def test_splits_when_capacity_binds(self):
+        net = FlowNetwork(4)
+        net.add_arc(0, 1, 3, 1.0)
+        net.add_arc(1, 3, 3, 1.0)
+        net.add_arc(0, 2, 10, 5.0)
+        net.add_arc(2, 3, 10, 5.0)
+        net.add_supply(0, 5)
+        net.add_supply(3, -5)
+        result = solve_min_cost_flow(net)
+        assert result.total_cost == 3 * 2 + 2 * 10
+
+    def test_multiple_sources_sinks(self):
+        net = FlowNetwork(4)
+        net.add_arc(0, 2, 10, 1.0)
+        net.add_arc(1, 3, 10, 1.0)
+        net.add_arc(0, 3, 10, 3.0)
+        net.add_arc(1, 2, 10, 3.0)
+        net.add_supply(0, 2)
+        net.add_supply(1, 2)
+        net.add_supply(2, -2)
+        net.add_supply(3, -2)
+        result = solve_min_cost_flow(net)
+        assert result.total_cost == 4.0
+
+    def test_unbalanced_rejected(self):
+        net = FlowNetwork(2)
+        net.add_arc(0, 1, 1, 0.0)
+        net.add_supply(0, 2)
+        with pytest.raises(InfeasibleFlowError):
+            solve_min_cost_flow(net)
+
+    def test_insufficient_capacity_rejected(self):
+        net = FlowNetwork(2)
+        net.add_arc(0, 1, 1, 0.0)
+        net.add_supply(0, 5)
+        net.add_supply(1, -5)
+        with pytest.raises(InfeasibleFlowError):
+            solve_min_cost_flow(net)
+
+    def test_zero_supply_trivial(self):
+        net = FlowNetwork(2)
+        net.add_arc(0, 1, 1, 1.0)
+        result = solve_min_cost_flow(net)
+        assert result.total_cost == 0.0
+        assert result.augmentations == 0
+
+    def test_flow_feasibility_checked(self):
+        net = FlowNetwork(3)
+        net.add_arc(0, 1, 10, 1.0)
+        net.add_arc(1, 2, 10, 1.0)
+        net.add_supply(0, 7)
+        net.add_supply(2, -7)
+        caps = _snapshot_capacities(net)
+        result = solve_min_cost_flow(net)
+        check_flow(net, result, caps)
+
+
+class TestRandomisedCrossCheck:
+    """Property test: our SSP optimum equals networkx network simplex."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 10))
+        net = FlowNetwork(n)
+        arcs = []
+        for _ in range(int(rng.integers(8, 24))):
+            u, v = rng.integers(0, n, size=2)
+            if u == v:
+                continue
+            cap = int(rng.integers(1, 12))
+            cost = float(rng.integers(0, 9))
+            net.add_arc(int(u), int(v), cap, cost)
+            arcs.append((int(u), int(v), cap, cost))
+        # Guarantee feasibility with an expensive bidirectional backbone.
+        for i in range(n - 1):
+            for tail, head in ((i, i + 1), (i + 1, i)):
+                net.add_arc(tail, head, 10_000, 99.0)
+                arcs.append((tail, head, 10_000, 99.0))
+        supply = int(rng.integers(1, 20))
+        src = int(rng.integers(0, n))
+        dst = (src + 1 + int(rng.integers(0, n - 1))) % n
+        net.add_supply(src, supply)
+        net.add_supply(dst, -supply)
+        supplies = [0] * n
+        supplies[src] = supply
+        supplies[dst] = -supply
+
+        caps = _snapshot_capacities(net)
+        result = solve_min_cost_flow(net)
+        check_flow(net, result, caps)
+        reference = solve_with_networkx(supplies, arcs)
+        assert result.total_cost == pytest.approx(reference, abs=1e-6)

@@ -1,0 +1,134 @@
+"""Tests for single-tree growth (leaf-wise, histogram-based)."""
+
+import numpy as np
+import pytest
+
+from repro.gbdt import BinMapper, Tree, TreeGrowthParams, grow_tree
+
+
+def _fit_tree(X, grad, hess=None, **kwargs):
+    mapper = BinMapper(max_bins=64).fit(X)
+    binned = mapper.transform(X)
+    if hess is None:
+        hess = np.ones(len(X))
+    params = TreeGrowthParams(**kwargs)
+    return grow_tree(binned, grad, hess, mapper, params), mapper, binned
+
+
+class TestGrowTree:
+    def test_pure_gradient_single_leaf(self):
+        """Uniform gradients admit no useful split: stays a stump."""
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        grad = np.ones(100)
+        tree, _, _ = _fit_tree(X, grad, min_data_in_leaf=1)
+        assert tree.n_leaves == 1
+        # Leaf value is -sum(g)/sum(h) = -1.
+        assert tree.value[0] == pytest.approx(-1.0)
+
+    def test_perfect_step_split(self):
+        """A step function in the gradient is found exactly."""
+        X = np.arange(100, dtype=float).reshape(-1, 1)
+        grad = np.where(X[:, 0] < 50, -1.0, 1.0)
+        tree, mapper, binned = _fit_tree(
+            X, grad, min_data_in_leaf=1, num_leaves=2
+        )
+        assert tree.n_leaves == 2
+        pred = tree.predict_binned(binned)
+        assert np.allclose(pred[X[:, 0] < 50], 1.0)
+        assert np.allclose(pred[X[:, 0] >= 50], -1.0)
+
+    def test_num_leaves_respected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        grad = rng.normal(size=500)
+        tree, _, _ = _fit_tree(X, grad, num_leaves=8, min_data_in_leaf=5)
+        assert tree.n_leaves <= 8
+
+    def test_min_data_in_leaf_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 2))
+        grad = rng.normal(size=200)
+        tree, _, binned = _fit_tree(X, grad, min_data_in_leaf=30)
+        # Count samples per leaf by prediction path.
+        leaf_of = np.zeros(len(X), dtype=int)
+        pred = tree.predict_binned(binned)
+        for value in np.unique(pred):
+            assert (pred == value).sum() >= 30
+
+    def test_max_depth_limits_tree(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(1000, 4))
+        grad = np.sin(X.sum(axis=1))
+        tree, _, _ = _fit_tree(
+            X, grad, max_depth=1, num_leaves=31, min_data_in_leaf=1
+        )
+        assert tree.n_leaves <= 2
+
+    def test_binned_and_raw_prediction_agree(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(800, 5))
+        grad = np.where(X[:, 2] > 0, 1.0, -1.0) + 0.1 * rng.normal(size=800)
+        tree, mapper, binned = _fit_tree(X, grad, num_leaves=16)
+        assert np.allclose(
+            tree.predict_binned(binned), tree.predict_raw_values(X)
+        )
+
+    def test_leafwise_prefers_best_gain(self):
+        """Leaf-wise growth with a 3-leaf budget spends both splits on the
+        informative feature rather than balancing the tree."""
+        rng = np.random.default_rng(4)
+        n = 1200
+        X = np.column_stack([rng.normal(size=n), rng.normal(size=n)])
+        grad = np.select(
+            [X[:, 0] < -0.5, X[:, 0] < 0.5], [-2.0, 0.0], default=2.0
+        )
+        tree, _, _ = _fit_tree(X, grad, num_leaves=3, min_data_in_leaf=10)
+        assert tree.split_features() == [0, 0]
+
+    def test_split_features_lists_internal_nodes(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(400, 3))
+        grad = np.where(X[:, 1] > 0, 1.0, -1.0)
+        tree, _, _ = _fit_tree(X, grad, num_leaves=4)
+        feats = tree.split_features()
+        assert len(feats) == tree.n_leaves - 1  # binary tree identity
+
+    def test_bagging_subset_used(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(300, 2))
+        grad = np.where(X[:, 0] > 0, 1.0, -1.0)
+        hess = np.ones(300)
+        mapper = BinMapper().fit(X)
+        binned = mapper.transform(X)
+        subset = np.arange(0, 300, 2)
+        tree = grow_tree(
+            binned, grad, hess, mapper, TreeGrowthParams(min_data_in_leaf=5),
+            sample_idx=subset,
+        )
+        # Tree still learns the pattern from half the data.
+        pred = tree.predict_binned(binned)
+        assert np.corrcoef(pred, -grad)[0, 1] > 0.9
+
+    def test_feature_subset_restricts_splits(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(400, 3))
+        grad = np.where(X[:, 0] > 0, 1.0, -1.0)  # feature 0 is informative
+        hess = np.ones(400)
+        mapper = BinMapper().fit(X)
+        binned = mapper.transform(X)
+        tree = grow_tree(
+            binned, grad, hess, mapper,
+            TreeGrowthParams(min_data_in_leaf=5),
+            feature_subset=np.array([1, 2]),
+        )
+        assert 0 not in tree.split_features()
+
+    def test_serialisation_roundtrip(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(500, 4))
+        grad = np.sin(3 * X[:, 0])
+        tree, mapper, binned = _fit_tree(X, grad, num_leaves=12)
+        clone = Tree.from_dict(tree.to_dict())
+        assert np.allclose(
+            clone.predict_raw_values(X), tree.predict_raw_values(X)
+        )

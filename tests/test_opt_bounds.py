@@ -1,0 +1,89 @@
+"""Tests for the OPT miss-cost / BHR bounds."""
+
+import numpy as np
+import pytest
+
+from repro.opt import (
+    decisions_to_miss_cost,
+    opt_bhr_bounds,
+    opt_miss_cost_bounds,
+    solve_opt,
+)
+from repro.trace import CostModel, Request, Trace
+
+
+class TestDecisionsToMissCost:
+    def test_matches_exact_opt(self, small_zipf_trace):
+        cache = 500
+        exact = solve_opt(small_zipf_trace, cache)
+        implied = decisions_to_miss_cost(small_zipf_trace, exact.decisions)
+        # Never below the optimum; above it by at most the cost of the
+        # partially-cached intervals (decisions round those down to "not
+        # cached" while the flow only pays for the missed fraction).
+        assert implied >= exact.miss_cost - 1e-9
+        partial = (exact.cached_fraction > 0) & (exact.cached_fraction < 1)
+        slack = float(
+            (small_zipf_trace.costs * exact.cached_fraction)[partial].sum()
+        )
+        assert implied <= exact.miss_cost + slack + 1e-6
+
+    def test_all_false_is_every_request_missing(self, paper_trace):
+        cost = decisions_to_miss_cost(
+            paper_trace, np.zeros(len(paper_trace), dtype=bool)
+        )
+        assert cost == float(paper_trace.costs.sum())
+
+    def test_all_true_leaves_compulsory(self, paper_trace):
+        cost = decisions_to_miss_cost(
+            paper_trace, np.ones(len(paper_trace), dtype=bool)
+        )
+        assert cost == 3 + 1 + 1 + 2  # the four first requests
+
+    def test_length_mismatch(self, paper_trace):
+        with pytest.raises(ValueError):
+            decisions_to_miss_cost(paper_trace, np.zeros(3, dtype=bool))
+
+
+class TestOptBounds:
+    def test_bracket_contains_exact(self, small_zipf_trace):
+        cache = 500
+        exact = solve_opt(small_zipf_trace, cache)
+        bounds = opt_miss_cost_bounds(
+            small_zipf_trace, cache, segment_length=400
+        )
+        assert bounds.miss_cost_lower <= exact.miss_cost + 1e-6
+        assert bounds.miss_cost_upper >= exact.miss_cost - 1e-6
+
+    def test_longer_segments_tighter_lower_bound(self, small_zipf_trace):
+        cache = 500
+        loose = opt_miss_cost_bounds(small_zipf_trace, cache, 200)
+        tight = opt_miss_cost_bounds(small_zipf_trace, cache, 1000)
+        assert tight.miss_cost_lower >= loose.miss_cost_lower - 1e-6
+
+    def test_bhr_bounds_ordered(self, small_zipf_trace):
+        lo, hi = opt_bhr_bounds(small_zipf_trace, 500, segment_length=400)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_bhr_bounds_require_bhr_costs(self, small_zipf_trace):
+        ohr = Trace(
+            CostModel.apply(small_zipf_trace.requests, CostModel.OHR)
+        )
+        with pytest.raises(ValueError, match="BHR objective"):
+            opt_bhr_bounds(ohr, 500)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            opt_miss_cost_bounds(Trace(), 100)
+
+    def test_invalid_bracket_rejected(self):
+        from repro.opt import OptBounds
+
+        with pytest.raises(ValueError):
+            OptBounds(miss_cost_lower=10.0, miss_cost_upper=5.0)
+
+    def test_tiny_cache_bounds_sane(self):
+        t = Trace([Request(i, i % 3, 5) for i in range(30)])
+        bounds = opt_miss_cost_bounds(t, cache_size=5, segment_length=10)
+        # With room for one object, most requests still miss.
+        assert bounds.miss_cost_upper <= float(t.costs.sum())
+        assert bounds.miss_cost_lower >= 15.0  # at least the compulsory

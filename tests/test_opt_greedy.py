@@ -1,0 +1,87 @@
+"""Tests for the greedy interval-packing OPT approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OptLabelConfig
+from repro.opt import solve_greedy, solve_opt
+from repro.trace import Request, Trace
+
+
+def _random_trace(seed: int, n: int = 150, n_objects: int = 15) -> Trace:
+    rng = np.random.default_rng(seed)
+    sizes = {o: int(rng.integers(1, 10)) for o in range(n_objects)}
+    objs = rng.integers(0, n_objects, size=n)
+    return Trace(
+        [Request(i, int(o), sizes[int(o)]) for i, o in enumerate(objs)]
+    )
+
+
+class TestSolveGreedy:
+    def test_paper_trace_huge_cache(self, paper_trace):
+        result = solve_greedy(paper_trace, cache_size=100)
+        nxt = paper_trace.next_occurrence()
+        # Unlimited space: every recurring interval is packed.
+        assert (result.decisions == (nxt >= 0)).all()
+        assert result.miss_cost == 7.0  # compulsory only
+
+    def test_feasibility_invariant(self, small_zipf_trace):
+        """Accepted intervals never exceed capacity at any time step."""
+        cache = 300
+        result = solve_greedy(small_zipf_trace, cache)
+        nxt = small_zipf_trace.next_occurrence()
+        sizes = small_zipf_trace.sizes
+        usage = np.zeros(len(small_zipf_trace))
+        for i in np.nonzero(result.decisions)[0]:
+            usage[i : int(nxt[i])] += sizes[i]
+        assert usage.max() <= cache
+
+    def test_upper_bounds_exact_opt(self, small_zipf_trace):
+        cache = 500
+        exact = solve_opt(small_zipf_trace, cache)
+        greedy = solve_greedy(small_zipf_trace, cache)
+        assert greedy.miss_cost >= exact.miss_cost - 1e-9
+
+    def test_close_to_exact_on_easy_instances(self, small_zipf_trace):
+        cache = 500
+        exact = solve_opt(small_zipf_trace, cache)
+        greedy = solve_greedy(small_zipf_trace, cache)
+        # Greedy-by-density is near-optimal on Zipf-ish traces.
+        assert greedy.miss_cost <= 1.25 * exact.miss_cost
+
+    def test_never_admits_non_recurring(self, small_zipf_trace):
+        result = solve_greedy(small_zipf_trace, 500)
+        nxt = small_zipf_trace.next_occurrence()
+        assert not result.decisions[nxt < 0].any()
+
+    def test_tiny_cache_respects_sizes(self, paper_trace):
+        result = solve_greedy(paper_trace, cache_size=1)
+        sizes = paper_trace.sizes
+        assert all(sizes[i] <= 1 for i in np.nonzero(result.decisions)[0])
+
+    def test_invalid_inputs(self, paper_trace):
+        with pytest.raises(ValueError):
+            solve_greedy(paper_trace, 0)
+        with pytest.raises(ValueError):
+            solve_greedy(Trace(), 10)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_bounded_by_exact_property(self, seed):
+        trace = _random_trace(seed)
+        cache = 25
+        exact = solve_opt(trace, cache)
+        greedy = solve_greedy(trace, cache)
+        assert greedy.miss_cost >= exact.miss_cost - 1e-9
+        assert greedy.accepted == int(greedy.decisions.sum())
+
+
+class TestGreedyLabelMode:
+    def test_label_config_greedy(self, small_zipf_trace):
+        labels = OptLabelConfig(mode="greedy").compute(small_zipf_trace, 500)
+        assert labels.dtype == bool
+        exact = solve_opt(small_zipf_trace, 500)
+        agreement = (labels == exact.decisions).mean()
+        assert agreement > 0.8

@@ -1,0 +1,113 @@
+"""Tests for the declarative experiment runner."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sim import load_spec, run_experiment
+
+
+def _base_spec(**overrides):
+    spec = {
+        "trace": {
+            "kind": "zipf",
+            "n_requests": 2000,
+            "n_objects": 300,
+            "alpha": 0.9,
+            "size_median": 20,
+            "size_max": 500,
+            "seed": 5,
+        },
+        "cache": {"fraction": 10},
+        "policies": ["LRU", "GDSF"],
+        "warmup": 0.25,
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestRunExperiment:
+    def test_basic_policies(self):
+        outcome = run_experiment(_base_spec())
+        assert set(outcome["results"]) == {"LRU", "GDSF"}
+        for metrics in outcome["results"].values():
+            assert 0.0 <= metrics["bhr"] <= 1.0
+
+    def test_lfo_policy(self):
+        spec = _base_spec(
+            policies=["LRU", "LFO"],
+            lfo={"window": 500, "segment_length": 250},
+        )
+        outcome = run_experiment(spec)
+        assert "LFO" in outcome["results"]
+        assert outcome["results"]["LFO"]["retrains"] >= 1
+
+    def test_irl_policy(self):
+        spec = _base_spec(
+            policies=["IRL"],
+            lfo={"window": 500, "segment_length": 250},
+        )
+        outcome = run_experiment(spec)
+        assert "IRL" in outcome["results"]
+
+    def test_mixed_trace_spec(self):
+        spec = _base_spec()
+        spec["trace"] = {
+            "kind": "mixed",
+            "classes": [
+                {"name": "web", "n_objects": 100, "alpha": 1.0,
+                 "size_median": 30, "size_sigma": 1.0, "size_max": 500},
+                {"name": "video", "n_objects": 20, "alpha": 1.0,
+                 "size_median": 800, "size_sigma": 0.5, "size_max": 5000},
+            ],
+            "shares": [0.8, 0.2],
+            "n_requests": 1500,
+            "seed": 2,
+        }
+        outcome = run_experiment(spec)
+        assert outcome["trace"]["n_requests"] == 1500
+
+    def test_file_trace_spec(self, tmp_path):
+        from repro.trace import SyntheticConfig, generate_trace, write_binary_trace
+
+        path = tmp_path / "t.bin"
+        write_binary_trace(
+            generate_trace(SyntheticConfig(n_requests=500, n_objects=50)),
+            path,
+        )
+        spec = _base_spec()
+        spec["trace"] = {"kind": "file", "path": str(path)}
+        outcome = run_experiment(spec)
+        assert outcome["trace"]["n_requests"] == 500
+
+    def test_explicit_cache_bytes(self):
+        spec = _base_spec(cache={"bytes": 777})
+        assert run_experiment(spec)["cache_size"] == 777
+
+    def test_unknown_trace_kind(self):
+        spec = _base_spec()
+        spec["trace"] = {"kind": "quantum"}
+        with pytest.raises(ValueError):
+            run_experiment(spec)
+
+    def test_result_is_json_serialisable(self):
+        outcome = run_experiment(_base_spec())
+        json.dumps(outcome)  # must not raise
+
+
+class TestCLIExperiment:
+    def test_spec_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(_base_spec()))
+        assert load_spec(path)["warmup"] == 0.25
+        assert main(["experiment", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "LRU" in out and "BHR=" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(_base_spec(policies=["LRU"])))
+        assert main(["experiment", str(path), "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert "results" in parsed

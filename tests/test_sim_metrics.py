@@ -1,0 +1,75 @@
+"""Tests for bootstrap confidence intervals on hit ratios."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache, RandomCache, S4LRUCache
+from repro.sim import bootstrap_bhr_ci, paired_bootstrap_diff, simulate
+
+
+class TestBootstrapBHR:
+    def test_point_estimate_matches_simulation(self, small_zipf_trace):
+        result = simulate(small_zipf_trace, LRUCache(500), warmup_fraction=0.0)
+        ci = bootstrap_bhr_ci(result.hits, small_zipf_trace.sizes)
+        expected = float(
+            small_zipf_trace.sizes[result.hits].sum()
+            / small_zipf_trace.sizes.sum()
+        )
+        assert ci.estimate == pytest.approx(expected)
+
+    def test_interval_contains_estimate(self, small_zipf_trace):
+        result = simulate(small_zipf_trace, LRUCache(500), warmup_fraction=0.0)
+        ci = bootstrap_bhr_ci(result.hits, small_zipf_trace.sizes, seed=1)
+        assert ci.lower <= ci.estimate <= ci.upper
+        assert 0.0 <= ci.lower and ci.upper <= 1.0
+
+    def test_more_data_narrower_interval(self):
+        rng = np.random.default_rng(0)
+        sizes = np.ones(8000)
+        hits = rng.random(8000) < 0.5
+        narrow = bootstrap_bhr_ci(hits, sizes, block=50)
+        wide = bootstrap_bhr_ci(hits[:500], sizes[:500], block=50)
+        assert narrow.width < wide.width
+
+    def test_deterministic_given_seed(self, small_zipf_trace):
+        result = simulate(small_zipf_trace, LRUCache(500), warmup_fraction=0.0)
+        a = bootstrap_bhr_ci(result.hits, small_zipf_trace.sizes, seed=3)
+        b = bootstrap_bhr_ci(result.hits, small_zipf_trace.sizes, seed=3)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_bhr_ci(np.zeros(3, dtype=bool), np.ones(4))
+        with pytest.raises(ValueError):
+            bootstrap_bhr_ci(np.zeros(0, dtype=bool), np.ones(0))
+
+
+class TestPairedDiff:
+    def test_clear_difference_is_significant(self, small_zipf_trace):
+        """S4LRU vs random eviction is a real gap: CI excludes zero."""
+        r_good = simulate(
+            small_zipf_trace, S4LRUCache(400), warmup_fraction=0.0
+        )
+        r_bad = simulate(
+            small_zipf_trace, RandomCache(400, seed=1), warmup_fraction=0.0
+        )
+        ci = paired_bootstrap_diff(
+            r_good.hits, r_bad.hits, small_zipf_trace.sizes, block=100
+        )
+        assert ci.estimate > 0
+        assert ci.excludes_zero()
+
+    def test_self_difference_is_zero(self, small_zipf_trace):
+        result = simulate(small_zipf_trace, LRUCache(500), warmup_fraction=0.0)
+        ci = paired_bootstrap_diff(
+            result.hits, result.hits, small_zipf_trace.sizes
+        )
+        assert ci.estimate == 0.0
+        assert ci.lower == ci.upper == 0.0
+        assert not ci.excludes_zero()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_diff(
+                np.zeros(3, dtype=bool), np.zeros(4, dtype=bool), np.ones(3)
+            )

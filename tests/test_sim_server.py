@@ -1,0 +1,101 @@
+"""Tests for the prediction-server queueing simulation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import ServerConfig, simulate_server
+
+
+def _run(**kwargs):
+    return simulate_server(ServerConfig(**kwargs))
+
+
+class TestBasics:
+    def test_invalid_discipline(self):
+        with pytest.raises(ValueError):
+            _run(discipline="lifo")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            _run(n_workers=0)
+
+    def test_latency_at_least_service_time(self):
+        report = _run(
+            arrival_rate=100.0, prediction_time=1e-3, window=0,
+            n_requests=2_000,
+        )
+        assert report.latencies.min() >= 1e-3 - 1e-12
+
+    def test_no_training_modes_identical(self):
+        fifo = _run(discipline="fifo", window=0, n_requests=5_000)
+        prio = _run(discipline="priority", window=0, n_requests=5_000)
+        assert np.allclose(fifo.latencies, prio.latencies)
+        assert fifo.training_delays == prio.training_delays == []
+
+    def test_utilisation_bounded(self):
+        report = _run(n_requests=5_000, window=0)
+        assert 0.0 <= report.utilisation <= 1.0
+
+
+class TestLoadBehaviour:
+    def test_latency_grows_with_load(self):
+        light = _run(
+            arrival_rate=200.0, n_workers=1, prediction_time=1e-3,
+            window=0, n_requests=5_000,
+        )
+        heavy = _run(
+            arrival_rate=900.0, n_workers=1, prediction_time=1e-3,
+            window=0, n_requests=5_000,
+        )
+        assert heavy.p99_latency > light.p99_latency
+
+    def test_more_workers_less_latency(self):
+        one = _run(
+            arrival_rate=1500.0, n_workers=1, prediction_time=1e-3,
+            window=0, n_requests=5_000,
+        )
+        four = _run(
+            arrival_rate=1500.0, n_workers=4, prediction_time=1e-3,
+            window=0, n_requests=5_000,
+        )
+        assert four.p99_latency <= one.p99_latency
+
+
+class TestTrainingInterference:
+    """The paper's Fig. 7 remark: training must not block requests."""
+
+    def test_fifo_training_inflates_tail_latency(self):
+        common = dict(
+            arrival_rate=1_600.0, n_workers=2, prediction_time=1e-3,
+            training_time=1.0, window=5_000, n_requests=20_000,
+        )
+        fifo = _run(discipline="fifo", **common)
+        prio = _run(discipline="priority", **common)
+        # At 80% utilisation a 1-second training job inside the FIFO queue
+        # halves capacity below the arrival rate and builds a real backlog;
+        # with strict priorities the request tail is unaffected.
+        assert fifo.p99_latency > 10 * prio.p99_latency
+
+    def test_priority_training_still_completes(self):
+        report = _run(
+            discipline="priority", arrival_rate=500.0, n_workers=2,
+            prediction_time=1e-3, training_time=1.0, window=5_000,
+            n_requests=20_000,
+        )
+        assert len(report.training_delays) == 4
+        assert all(d >= 1.0 / 2 for d in report.training_delays)
+        assert report.max_training_delay < 60.0
+
+    def test_priority_training_delay_grows_with_load(self):
+        """Busier servers leave less idle time for background training."""
+        light = _run(
+            discipline="priority", arrival_rate=200.0, n_workers=1,
+            prediction_time=1e-3, training_time=0.5, window=10_000,
+            n_requests=20_000,
+        )
+        heavy = _run(
+            discipline="priority", arrival_rate=900.0, n_workers=1,
+            prediction_time=1e-3, training_time=0.5, window=10_000,
+            n_requests=20_000,
+        )
+        assert heavy.max_training_delay >= light.max_training_delay

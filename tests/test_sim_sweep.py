@@ -1,0 +1,77 @@
+"""Tests for cache-size sweeps and crossover analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache, S4LRUCache
+from repro.sim import (
+    HitRatioCurve,
+    crossover_size,
+    lru_hit_ratio_curve,
+    policy_hit_ratio_curve,
+    sweep_policies,
+)
+
+
+class TestPolicyCurve:
+    def test_lru_sweep_matches_analytic_curve(self, small_zipf_trace):
+        sizes = [300, 1_000, 3_000]
+        measured = policy_hit_ratio_curve(
+            small_zipf_trace, LRUCache, sizes, warmup_fraction=0.0
+        )
+        analytic = lru_hit_ratio_curve(small_zipf_trace)
+        for s in sizes:
+            assert measured.at(s) == pytest.approx(analytic.at(s), abs=0.02)
+
+    def test_monotone_for_stack_policies(self, small_zipf_trace):
+        curve = policy_hit_ratio_curve(
+            small_zipf_trace, LRUCache, [200, 500, 2_000, 8_000]
+        )
+        assert (np.diff(curve.bhr) >= -1e-12).all()
+
+    def test_metric_selection(self, small_zipf_trace):
+        bhr = policy_hit_ratio_curve(small_zipf_trace, LRUCache, [500])
+        ohr = policy_hit_ratio_curve(
+            small_zipf_trace, LRUCache, [500], metric="ohr"
+        )
+        assert bhr.bhr[0] != ohr.bhr[0]
+
+    def test_validation(self, small_zipf_trace):
+        with pytest.raises(ValueError):
+            policy_hit_ratio_curve(small_zipf_trace, LRUCache, [])
+        with pytest.raises(ValueError):
+            policy_hit_ratio_curve(
+                small_zipf_trace, LRUCache, [100], metric="latency"
+            )
+
+    def test_sweep_policies_returns_all(self, small_zipf_trace):
+        curves = sweep_policies(
+            small_zipf_trace,
+            {"LRU": LRUCache, "S4LRU": S4LRUCache},
+            [500, 2_000],
+        )
+        assert set(curves) == {"LRU", "S4LRU"}
+
+
+class TestCrossover:
+    def test_crossing_curves(self):
+        a = HitRatioCurve(np.array([0.0, 10.0]), np.array([0.0, 1.0]))
+        b = HitRatioCurve(np.array([0.0, 10.0]), np.array([0.5, 0.5]))
+        x = crossover_size(a, b)
+        assert x == pytest.approx(5.0)
+
+    def test_a_always_leads(self):
+        a = HitRatioCurve(np.array([0.0, 10.0]), np.array([0.6, 0.9]))
+        b = HitRatioCurve(np.array([0.0, 10.0]), np.array([0.1, 0.2]))
+        assert crossover_size(a, b) == 0.0
+
+    def test_a_never_catches(self):
+        a = HitRatioCurve(np.array([0.0, 10.0]), np.array([0.1, 0.2]))
+        b = HitRatioCurve(np.array([0.0, 10.0]), np.array([0.6, 0.9]))
+        assert crossover_size(a, b) is None
+
+    def test_different_grids(self):
+        a = HitRatioCurve(np.array([0.0, 4.0, 8.0]), np.array([0.0, 0.4, 0.8]))
+        b = HitRatioCurve(np.array([0.0, 10.0]), np.array([0.3, 0.3]))
+        x = crossover_size(a, b)
+        assert x == pytest.approx(3.0)

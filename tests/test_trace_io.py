@@ -1,0 +1,81 @@
+"""Tests for trace serialisation (text and binary round-trips)."""
+
+import io
+
+import pytest
+
+from repro.trace import (
+    Request,
+    Trace,
+    iter_text_requests,
+    read_binary_trace,
+    read_text_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+
+
+class TestTextFormat:
+    def test_roundtrip_with_cost(self, paper_trace, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_text_trace(paper_trace, path)
+        back = read_text_trace(path)
+        assert back.requests == paper_trace.requests
+
+    def test_roundtrip_without_cost(self, paper_trace, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_text_trace(paper_trace, path, include_cost=False)
+        back = read_text_trace(path)
+        # Costs default to size, which equals the original BHR costs.
+        assert back.requests == paper_trace.requests
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n0 1 10\n1 2 20 5.0\n"
+        reqs = list(iter_text_requests(io.StringIO(text)))
+        assert len(reqs) == 2
+        assert reqs[1].cost == 5.0
+
+    def test_comma_separated(self):
+        reqs = list(iter_text_requests(io.StringIO("0,1,10\n")))
+        assert reqs[0] == Request(0.0, 1, 10)
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(iter_text_requests(io.StringIO("0 1\n")))
+
+    def test_streaming_is_lazy(self):
+        """iter_text_requests must not consume the whole stream eagerly."""
+        stream = io.StringIO("0 1 10\nBROKEN LINE HERE EXTRA WORDS MORE\n")
+        it = iter_text_requests(stream)
+        assert next(it) == Request(0.0, 1, 10)
+        with pytest.raises(ValueError):
+            next(it)
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, small_zipf_trace, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_binary_trace(small_zipf_trace, path)
+        back = read_binary_trace(path)
+        assert back.requests == small_zipf_trace.requests
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 20)
+        with pytest.raises(ValueError, match="magic"):
+            read_binary_trace(path)
+
+    def test_truncated_rejected(self, paper_trace, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_binary_trace(paper_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary_trace(path)
+
+    def test_file_object_roundtrip(self, paper_trace):
+        buf = io.BytesIO()
+        write_binary_trace(paper_trace, buf)
+        buf.seek(0)
+        back = read_binary_trace(buf)
+        assert back.requests == paper_trace.requests

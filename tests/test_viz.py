@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.viz import bar_chart, line_chart, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        chart = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"long-name": 1.0, "x": 1.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty(self):
+        assert "empty" in bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_all_zero_safe(self):
+        chart = bar_chart({"a": 0.0})
+        assert "#" not in chart
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(
+            [0, 1, 2, 3],
+            {"fp": [4, 3, 2, 1], "fn": [1, 2, 3, 4]},
+        )
+        assert "f=" in chart or "f" in chart
+        assert "[" in chart  # legend present
+
+    def test_duplicate_initials_get_distinct_markers(self):
+        chart = line_chart([0, 1], {"foo": [0, 1], "far": [1, 0]})
+        legend = chart.splitlines()[-1]
+        assert "f=foo" in legend
+        assert "a=far" in legend
+
+    def test_constant_series_safe(self):
+        chart = line_chart([0, 1], {"c": [5, 5]})
+        assert "c" in chart
+
+    def test_empty(self):
+        assert "empty" in line_chart([], {})
+
+    def test_extremes_on_grid(self):
+        chart = line_chart([0, 10], {"s": [0.0, 1.0]}, width=20, height=5)
+        rows = chart.splitlines()
+        assert "s" in rows[0]      # max lands on the top row
+        assert "s" in rows[4]      # min lands on the bottom row
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant(self):
+        assert sparkline([2, 2, 2]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
