@@ -61,13 +61,29 @@ class CachePolicy(ABC):
             return False  # cannot possibly fit
         if not self._admit(request):
             return False
+        if not self._evict_until_fits(request):
+            return False  # policy refuses to evict: bypass instead
+        self._insert(request)
+        return False
+
+    def _evict_until_fits(self, request: Request) -> bool:
+        """Evict victims until ``request`` fits; True on success.
+
+        When the policy refuses mid-plan (``_select_victim`` returns None
+        with the object still not fitting), the incoming request is
+        bypassed and every victim already removed is reinstated via
+        :meth:`_restore` — a bypass must never shrink the resident set.
+        """
+        evicted: list[tuple[int, int]] = []
         while self.used_bytes + request.size > self.cache_size:
             victim = self._select_victim(request)
             if victim is None:
-                return False  # policy refuses to evict: bypass instead
+                for obj, size in reversed(evicted):
+                    self._restore(obj, size, request)
+                return False
+            evicted.append((victim, self._entries[victim]))
             self._remove(victim)
-        self._insert(request)
-        return False
+        return True
 
     def reset(self) -> None:
         """Clear all cache state."""
@@ -103,6 +119,18 @@ class CachePolicy(ABC):
         """Remove a resident object (subclasses extend for their state)."""
         size = self._entries.pop(obj)
         self.used_bytes -= size
+
+    def _restore(self, obj: int, size: int, incoming: Request) -> None:
+        """Reinstate a victim removed by an aborted eviction plan.
+
+        The default rebuilds the entry through :meth:`_insert` with a
+        synthesized request at the incoming request's timestamp, so policy
+        metadata is refreshed (e.g. the object returns at the MRU end, and
+        cost-aware priorities fall back to ``cost == size``) rather than
+        preserved exactly; subclasses with richer state can override for a
+        closer undo.
+        """
+        self._insert(Request(incoming.time, obj, size))
 
     def _reset_policy_state(self) -> None:
         """Clear subclass state on :meth:`reset` (default: nothing)."""

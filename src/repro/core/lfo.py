@@ -176,12 +176,7 @@ class LFOCache(CachePolicy):
             self._rank(request.obj, score)
             self._lru.move_to_end(request.obj)
         elif request.size <= self.cache_size and self._should_admit(score):
-            while self.used_bytes + request.size > self.cache_size:
-                victim = self._select_victim(request)
-                if victim is None:
-                    break
-                self._remove(victim)
-            if self.used_bytes + request.size <= self.cache_size:
+            if self._evict_until_fits(request):
                 self._insert(request)
                 self._rank(request.obj, score)
         self._tracker.update(request)
@@ -201,6 +196,15 @@ class LFOCache(CachePolicy):
         self._score.pop(obj, None)
         self._stamp.pop(obj, None)
         self._lru.pop(obj, None)
+
+    def _restore(self, obj: int, size: int, incoming: Request) -> None:
+        # Re-insert and re-rank, otherwise a restored object would be
+        # invisible to likelihood eviction (stuck resident forever).
+        super()._restore(obj, size, incoming)
+        if self.model is not None:
+            probe = Request(self._now, obj, size)
+            features = self._tracker.features(probe, self.free_bytes)
+            self._rank(obj, float(self.model.likelihood(features)[0]))
 
     def _select_victim(self, incoming: Request) -> int | None:
         if self.model is None or self.eviction == "lru":

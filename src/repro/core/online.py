@@ -4,17 +4,41 @@
 online features observed live, computes OPT's decisions for the window once
 it closes, trains a fresh model, and serves window ``W[t+1]`` with it.  The
 first window runs in cold-start (admit-all LRU) mode.
+
+Two production-shaping knobs address the paper's Section 4 warning that "a
+production implementation would need to carefully optimize priorities such
+that training tasks do not interfere with the request traffic":
+
+* ``OptLabelConfig(n_jobs=...)`` fans the independent segment solves of the
+  time-axis OPT approximation out over a process pool (bit-identical
+  labels, ~``1/n_jobs`` the wall-clock on a multi-core machine);
+* ``LFOOnline(background=True)`` moves the whole label-solve + GBDT fit off
+  the request path: the closed window is snapshotted and handed to a worker,
+  requests keep being served by the current model, and the fresh model is
+  swapped in atomically once training completes.  A still-busy trainer or a
+  training failure never blocks or breaks ``on_request`` — the window is
+  dropped (counted in ``n_skipped_retrains``) or the failure recorded
+  (``n_failed_retrains``) and serving continues on the current model.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
+from concurrent.futures import CancelledError, Executor, Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..features import Dataset, feature_names
 from ..gbdt import GBDTParams
-from ..opt import solve_greedy, solve_opt, solve_pruned, solve_segmented
+from ..opt import (
+    solve_greedy,
+    solve_opt,
+    solve_pruned,
+    solve_segmented,
+    solve_segmented_parallel,
+)
 from ..trace import Request, Trace
 from .lfo import LFOCache, LFOModel
 
@@ -36,18 +60,30 @@ class OptLabelConfig:
       ``keep_fraction`` top-ranked requests (optionally also segmented);
     * ``"greedy"`` — rank-ordered greedy interval packing (fastest; a
       feasible approximation rather than the flow optimum).
+
+    ``n_jobs`` parallelises the ``"segmented"`` mode's independent segment
+    solves over a process pool (see
+    :func:`repro.opt.parallel.solve_segmented_parallel`); labels are
+    bit-identical to the serial path.  ``1`` keeps the serial solve, ``None``
+    uses every core.
     """
 
     mode: str = "segmented"
     segment_length: int = 1000
     keep_fraction: float = 0.3
     lookahead: int | None = None
+    n_jobs: int | None = 1
 
     def compute(self, window: Trace, cache_size: int) -> np.ndarray:
         """Return per-request OPT admission labels for a window."""
         if self.mode == "exact":
             return solve_opt(window, cache_size).decisions
         if self.mode == "segmented":
+            if self.n_jobs != 1:
+                return solve_segmented_parallel(
+                    window, cache_size, self.segment_length,
+                    lookahead=self.lookahead, n_jobs=self.n_jobs,
+                ).decisions
             return solve_segmented(
                 window, cache_size, self.segment_length,
                 lookahead=self.lookahead,
@@ -64,6 +100,40 @@ class OptLabelConfig:
         raise ValueError(f"unknown OPT label mode: {self.mode!r}")
 
 
+def _train_window(
+    requests: list[Request],
+    features: np.ndarray,
+    label_config: OptLabelConfig,
+    cache_size: int,
+    gbdt_params: GBDTParams,
+    cutoff: float,
+    min_positive_labels: int,
+    n_gaps: int,
+    window_name: str,
+) -> tuple[LFOModel | None, float]:
+    """Label one closed window with OPT and fit a fresh model.
+
+    A pure function of its snapshotted inputs, so it runs identically
+    inline, in a worker thread, or in a worker process.  Returns
+    ``(model, training_seconds)``; the model is ``None`` for degenerate
+    windows with fewer than ``min_positive_labels`` positive decisions
+    (e.g. a pure scan), where training would produce a broken
+    all-negative predictor.
+    """
+    started = time.perf_counter()
+    window_trace = Trace(requests, name=window_name)
+    labels = label_config.compute(window_trace, cache_size)
+    if labels.sum() < min_positive_labels:
+        return None, time.perf_counter() - started
+    dataset = Dataset(
+        X=features,
+        y=labels.astype(np.float64),
+        names=feature_names(n_gaps),
+    )
+    model = LFOModel.train(dataset, params=gbdt_params, cutoff=cutoff)
+    return model, time.perf_counter() - started
+
+
 class LFOOnline(LFOCache):
     """LFO with periodic retraining on sliding windows.
 
@@ -76,6 +146,27 @@ class LFOOnline(LFOCache):
         n_gaps: gap-feature count.
         min_positive_labels: skip retraining when a window contains fewer
             positive OPT decisions than this (degenerate windows).
+        background: when True, window boundaries only snapshot the closed
+            window and submit it to a trainer; the label solve and GBDT fit
+            run off the request path and the new model is installed
+            atomically on completion.  A window that closes while the
+            trainer is still busy is dropped (``n_skipped_retrains``); a
+            failed training job keeps the current model
+            (``n_failed_retrains``).
+        executor: the trainer used in background mode.  ``None`` lazily
+            creates a private single-worker :class:`ThreadPoolExecutor`;
+            pass a :class:`~concurrent.futures.ProcessPoolExecutor` to keep
+            training off the GIL entirely (all submitted arguments and the
+            returned model pickle cleanly).
+
+    Counters (also bundled by :attr:`training_stats` and surfaced in
+    :class:`repro.sim.SimResult`):
+
+    * ``n_retrains`` — models actually trained and installed;
+    * ``n_skipped_retrains`` — windows dropped because the trainer was busy;
+    * ``n_failed_retrains`` — training jobs that raised (model kept);
+    * ``last_training_seconds`` — duration of the latest label+fit job;
+    * ``training_pending`` — True while a background job is in flight.
     """
 
     name = "LFO-online"
@@ -91,6 +182,8 @@ class LFOOnline(LFOCache):
         min_positive_labels: int = 10,
         eviction: str = "likelihood",
         rescore_interval: int = 0,
+        background: bool = False,
+        executor: Executor | None = None,
     ) -> None:
         super().__init__(
             cache_size, model=None, n_gaps=n_gaps,
@@ -103,12 +196,74 @@ class LFOOnline(LFOCache):
         self.cutoff = cutoff
         self.label_config = label_config or OptLabelConfig()
         self.min_positive_labels = min_positive_labels
+        self.background = background
         self.n_retrains = 0
+        self.n_skipped_retrains = 0
+        self.n_failed_retrains = 0
+        self.last_training_seconds = 0.0
         self._buffer_requests: list[Request] = []
         self._buffer_features: list[np.ndarray] = []
+        self._executor = executor
+        self._owns_executor = False
+        self._pending: Future | None = None
+        self._windows_closed = 0
+
+    # -- training status -----------------------------------------------------
+
+    @property
+    def training_pending(self) -> bool:
+        """True while a background training job is in flight."""
+        return self._pending is not None and not self._pending.done()
+
+    @property
+    def training_stats(self) -> dict[str, float | int | bool]:
+        """The retraining counters as one dict (surfaced by ``simulate``)."""
+        return {
+            "n_retrains": self.n_retrains,
+            "n_skipped_retrains": self.n_skipped_retrains,
+            "n_failed_retrains": self.n_failed_retrains,
+            "last_training_seconds": self.last_training_seconds,
+            "training_pending": self.training_pending,
+        }
+
+    def finish_training(self, timeout: float | None = None) -> bool:
+        """Wait for an in-flight training job and install its model.
+
+        Useful at end-of-trace (the final window's model would otherwise
+        only land on the next request) and in tests.  Returns True when a
+        pending job was drained within ``timeout`` seconds.
+        """
+        if self._pending is None:
+            return False
+        try:
+            self._pending.exception(timeout)  # waits; doesn't raise job errors
+        except TimeoutError:
+            return False
+        except CancelledError:
+            pass
+        self._install_trained_model()
+        return True
+
+    def close(self) -> None:
+        """Drain pending training and release a privately owned executor."""
+        self.finish_training()
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._owns_executor = False
+
+    # -- request path --------------------------------------------------------
 
     def on_request(self, request: Request) -> bool:
-        """Process one request, retraining at window boundaries."""
+        """Process one request, retraining at window boundaries.
+
+        In background mode this never solves labels or fits a model
+        inline: a completed trainer result is installed (an O(1) model
+        pointer swap), the request is served, and a window boundary only
+        snapshots buffers and enqueues the training job.
+        """
+        if self._pending is not None and self._pending.done():
+            self._install_trained_model()
         hit = super().on_request(request)
         # ``last_features`` was computed inside LFOCache.on_request with the
         # live free-bytes observation — exactly what training must see.
@@ -118,22 +273,86 @@ class LFOOnline(LFOCache):
             self._retrain()
         return hit
 
+    # -- window hand-over ----------------------------------------------------
+
     def _retrain(self) -> None:
-        window_trace = Trace(self._buffer_requests, name=f"W[{self.n_retrains}]")
+        requests = self._buffer_requests
         self._buffer_requests = []
         features = np.vstack(self._buffer_features)
         self._buffer_features = []
+        name = f"W[{self._windows_closed}]"
+        self._windows_closed += 1
+        args = (
+            requests, features, self.label_config, self.cache_size,
+            self.gbdt_params, self.cutoff, self.min_positive_labels,
+            self._tracker.n_gaps, name,
+        )
 
-        labels = self.label_config.compute(window_trace, self.cache_size)
-        if labels.sum() < self.min_positive_labels:
-            return  # degenerate window (e.g. pure scan): keep current model
-        dataset = Dataset(
-            X=features,
-            y=labels.astype(np.float64),
-            names=feature_names(self._tracker.n_gaps),
-        )
-        model = LFOModel.train(
-            dataset, params=self.gbdt_params, cutoff=self.cutoff
-        )
-        self.set_model(model)
-        self.n_retrains += 1
+        if not self.background:
+            model, elapsed = _train_window(*args)
+            self.last_training_seconds = elapsed
+            if model is not None:
+                self.set_model(model)
+                self.n_retrains += 1
+            return
+
+        if self._pending is not None:
+            if not self._pending.done():
+                # Trainer still busy: drop this window, keep serving on the
+                # current model rather than queueing unbounded work.
+                self.n_skipped_retrains += 1
+                return
+            self._install_trained_model()
+        try:
+            self._pending = self._trainer().submit(_train_window, *args)
+        except Exception as exc:  # broken pool must never break serving
+            self.n_failed_retrains += 1
+            warnings.warn(
+                f"could not submit background retrain ({exc!r}); "
+                "keeping current model",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _install_trained_model(self) -> None:
+        """Consume a finished training future; atomic model swap on success."""
+        future = self._pending
+        self._pending = None
+        if future is None:
+            return
+        try:
+            model, elapsed = future.result()
+        except CancelledError:
+            self.n_failed_retrains += 1
+            return
+        except Exception as exc:
+            self.n_failed_retrains += 1
+            warnings.warn(
+                f"background retrain failed ({exc!r}); keeping current model",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        self.last_training_seconds = elapsed
+        if model is not None:
+            self.set_model(model)
+            self.n_retrains += 1
+
+    def _trainer(self) -> Executor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="lfo-trainer"
+            )
+            self._owns_executor = True
+        return self._executor
+
+    def _reset_policy_state(self) -> None:
+        super()._reset_policy_state()
+        self.finish_training()
+        self._buffer_requests = []
+        self._buffer_features = []
+        self.n_retrains = 0
+        self.n_skipped_retrains = 0
+        self.n_failed_retrains = 0
+        self.last_training_seconds = 0.0
+        self._windows_closed = 0

@@ -83,6 +83,8 @@ def solve_min_cost_flow(network: FlowNetwork) -> MinCostFlowResult:
     source = n
     sink = n + 1
     n_total = n + 2
+    first_virtual_arc = len(network.arc_to)
+    supply_nodes: list[int] = []
 
     # Extend adjacency for the two virtual nodes without copying arc arrays.
     network.adjacency.append([])  # source
@@ -93,9 +95,11 @@ def solve_min_cost_flow(network: FlowNetwork) -> MinCostFlowResult:
         for node, supply in enumerate(network.supply):
             if supply > 0:
                 network.add_arc(source, node, supply, 0.0)
+                supply_nodes.append(node)
                 remaining += supply
             elif supply < 0:
                 network.add_arc(node, sink, -supply, 0.0)
+                supply_nodes.append(node)
 
         arc_to = network.arc_to
         arc_cap = network.arc_cap
@@ -174,8 +178,21 @@ def solve_min_cost_flow(network: FlowNetwork) -> MinCostFlowResult:
             total_cost=total_cost, flow=flow, augmentations=augmentations
         )
     finally:
-        # Restore the caller's node count; virtual arcs remain in the arc
-        # arrays but become unreachable once the source/sink adjacency
-        # lists are dropped.
+        # Strip the virtual source/sink arcs entirely, not just their
+        # adjacency lists: their residual partners live in *real* nodes'
+        # adjacency, and leaving them in ``arc_to``/``arc_cap``/``arc_cost``
+        # with mutated capacities would feed stale, out-of-range arcs to a
+        # later solve or ``_initial_potentials`` on the same network.  Each
+        # real endpoint gained at most one virtual arc, appended after all
+        # real arcs, so popping tails restores the exact input arc set
+        # (with residual capacities on real arcs encoding the flow).
+        for node in supply_nodes:
+            adjacency = network.adjacency[node]
+            while adjacency and adjacency[-1] >= first_virtual_arc:
+                adjacency.pop()
+        del network.arc_to[first_virtual_arc:]
+        del network.arc_cap[first_virtual_arc:]
+        del network.arc_cost[first_virtual_arc:]
+        del network._arc_tail[first_virtual_arc:]
         network.adjacency = network.adjacency[:n]
         network.n_nodes = n

@@ -1,0 +1,125 @@
+"""Parallel segmented OPT labeling over a process pool.
+
+The time-axis split of :func:`repro.opt.segmentation.solve_segmented`
+produces *independent* min-cost-flow sub-problems — segment ``k``'s labels
+depend only on the requests in ``[start_k, core_end_k + lookahead)``.  The
+serial path solves them one after another on the request thread; here the
+same sub-problems fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+so a window boundary costs roughly ``serial_time / n_jobs`` wall-clock on a
+multi-core box.
+
+Because every segment is solved by the *same* :func:`repro.opt.mincost.solve_opt`
+on the *same* sub-trace and reassembled in trace order, the returned labels
+are bit-identical to the serial path; only wall-clock time changes.  When a
+pool cannot be created (sandboxed containers without working semaphores,
+restricted fork) the solve silently degrades to the serial path rather than
+failing the retrain.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..trace import Request, Trace
+from .mincost import solve_opt
+from .segmentation import (
+    SegmentedOptResult,
+    decisions_to_miss_cost,
+    solve_segmented,
+)
+
+__all__ = ["solve_segmented_parallel"]
+
+
+def _solve_segment(payload: tuple[list[Request], int, int]) -> np.ndarray:
+    """Worker: solve one segment, return its core (non-lookahead) labels.
+
+    Module-level so it pickles for process pools; the payload is
+    ``(segment requests incl. lookahead, cache_size, core length)``.
+    """
+    requests, cache_size, core_length = payload
+    result = solve_opt(Trace(requests), cache_size)
+    return result.decisions[:core_length]
+
+
+def solve_segmented_parallel(
+    trace: Trace,
+    cache_size: int,
+    segment_length: int,
+    lookahead: int | None = None,
+    n_jobs: int | None = None,
+) -> SegmentedOptResult:
+    """Time-axis OPT approximation with segments solved in parallel.
+
+    Args:
+        trace: the full window.
+        cache_size: cache capacity in bytes.
+        segment_length: requests per independently solved segment.
+        lookahead: extra requests appended to each segment before solving
+            (same semantics and same default — ``segment_length // 2`` — as
+            :func:`repro.opt.segmentation.solve_segmented`).
+        n_jobs: worker processes.  ``None`` uses ``os.cpu_count()``; ``1``
+            (or a single-segment window) falls through to the serial solve.
+
+    Returns:
+        A :class:`SegmentedOptResult` bit-identical to the serial path.
+    """
+    if segment_length <= 0:
+        raise ValueError("segment_length must be positive")
+    if lookahead is None:
+        lookahead = segment_length // 2
+    if lookahead < 0:
+        raise ValueError("lookahead must be non-negative")
+    if n_jobs is None:
+        n_jobs = os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be positive (or None for cpu_count)")
+
+    n = len(trace)
+    payloads: list[tuple[list[Request], int, int]] = []
+    spans: list[tuple[int, int, int]] = []  # (start, core_end, solved count)
+    for start in range(0, n, segment_length):
+        core_end = min(start + segment_length, n)
+        stop = min(core_end + lookahead, n)
+        payloads.append((trace.requests[start:stop], cache_size, core_end - start))
+        spans.append((start, core_end, stop - start))
+
+    if n_jobs == 1 or len(payloads) <= 1:
+        return solve_segmented(
+            trace, cache_size, segment_length, lookahead=lookahead
+        )
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(payloads))
+        ) as pool:
+            cores = list(pool.map(_solve_segment, payloads))
+    except (OSError, PermissionError, ImportError) as exc:
+        # No usable multiprocessing primitives in this environment (e.g. a
+        # sandbox without /dev/shm): degrade to the serial solve, which
+        # returns the identical labels.
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); "
+            "falling back to serial segmented solve",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return solve_segmented(
+            trace, cache_size, segment_length, lookahead=lookahead
+        )
+
+    decisions = np.zeros(n, dtype=bool)
+    solved_requests = 0
+    for (start, core_end, span), core in zip(spans, cores):
+        decisions[start:core_end] = core
+        solved_requests += span
+    return SegmentedOptResult(
+        decisions=decisions,
+        miss_cost=decisions_to_miss_cost(trace, decisions),
+        n_segments=len(payloads),
+        solved_requests=solved_requests,
+    )

@@ -32,6 +32,10 @@ class SimResult:
         bhr_full / ohr_full: ratios over the entire trace.
         warmup: number of requests excluded from the headline ratios.
         series: windowed BHR time series (window size in ``series_window``).
+        training: retraining counters for self-training policies
+            (``n_retrains``, ``n_skipped_retrains``, ``n_failed_retrains``,
+            ``last_training_seconds``, ``training_pending`` — see
+            :class:`repro.core.LFOOnline`), or None for static policies.
     """
 
     policy: str
@@ -45,6 +49,7 @@ class SimResult:
     warmup: int
     series: np.ndarray = field(default_factory=lambda: np.array([]))
     series_window: int = 0
+    training: dict[str, float | int | bool] | None = None
 
 
 def simulate(
@@ -102,6 +107,10 @@ def simulate(
             sl = slice(w * series_window, (w + 1) * series_window)
             series[w], _, _ = ratios(sl)
 
+    training = getattr(policy, "training_stats", None)
+    if training is not None:
+        training = dict(training)  # snapshot: the policy keeps mutating
+
     return SimResult(
         policy=policy.name,
         n_requests=n,
@@ -114,6 +123,7 @@ def simulate(
         warmup=warmup,
         series=series,
         series_window=series_window,
+        training=training,
     )
 
 

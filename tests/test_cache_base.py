@@ -134,3 +134,74 @@ def test_capacity_property_random_workloads(policy_cls, seed):
         size = sizes.setdefault(obj, int(rng.integers(1, 400)))
         policy.on_request(Request(float(t), obj, size))
         assert 0 <= policy.used_bytes <= 500
+
+
+class _ReluctantLRU(LRUCache):
+    """LRU that evicts at most ``budget`` victims per admission, then
+    refuses — the shape of policy that triggers a mid-plan abort."""
+
+    def __init__(self, cache_size, budget):
+        super().__init__(cache_size)
+        self.budget = budget
+        self._spent = 0
+
+    def _select_victim(self, incoming):
+        if self._spent >= self.budget:
+            return None
+        self._spent += 1
+        return super()._select_victim(incoming)
+
+    def on_request(self, request):
+        self._spent = 0
+        return super().on_request(request)
+
+
+class TestEvictionAbortRestore:
+    """A refused eviction plan must not lose the victims already removed
+    (regression: partial-evict-then-bypass leaked cache contents)."""
+
+    def _full_cache(self, budget):
+        policy = _ReluctantLRU(cache_size=100, budget=budget)
+        policy.on_request(Request(0, 1, 60))
+        policy.on_request(Request(1, 2, 40))
+        assert policy.used_bytes == 100
+        return policy
+
+    def test_aborted_plan_restores_victims(self):
+        policy = self._full_cache(budget=1)
+        # Object 3 needs both residents evicted; the policy gives up after
+        # one, so the admission is bypassed and nothing may be lost.
+        hit = policy.on_request(Request(2, 3, 80))
+        assert hit is False
+        assert not policy.contains(3)
+        assert policy.contains(1) and policy.contains(2)
+        assert policy.used_bytes == 100
+        assert policy.used_bytes == sum(policy._entries.values())
+        # The restored residents still hit.
+        assert policy.on_request(Request(3, 1, 60)) is True
+        assert policy.on_request(Request(4, 2, 40)) is True
+
+    def test_feasible_plan_still_evicts(self):
+        policy = self._full_cache(budget=2)
+        policy.on_request(Request(2, 3, 80))
+        assert policy.contains(3)
+        assert not policy.contains(1) and not policy.contains(2)
+        assert policy.used_bytes == 80
+
+    def test_restored_victims_stay_evictable(self):
+        policy = self._full_cache(budget=1)
+        policy.on_request(Request(2, 3, 80))  # aborted, restored
+        # With a big enough budget the same admission now succeeds: the
+        # restored objects are still reachable by victim selection.
+        policy.budget = 2
+        policy.on_request(Request(3, 3, 80))
+        assert policy.contains(3)
+        assert policy.used_bytes == 80
+
+    def test_abort_on_empty_cache_is_noop(self):
+        policy = _ReluctantLRU(cache_size=100, budget=0)
+        policy.on_request(Request(0, 1, 60))  # fits without eviction
+        assert policy.contains(1)
+        policy.on_request(Request(1, 2, 80))  # would need eviction: refused
+        assert policy.contains(1) and not policy.contains(2)
+        assert policy.used_bytes == 60

@@ -190,3 +190,49 @@ class TestLFOVariants:
             size = sizes.setdefault(obj, int(rng.integers(1, 60)))
             policy.on_request(Request(float(t), obj, size))
             assert 0 <= policy.used_bytes <= 150
+
+
+class TestEvictionAbortRestore:
+    """LFO shares the base eviction plan: an aborted plan restores victims
+    *and* re-ranks them so they stay visible to likelihood eviction."""
+
+    def _refusing_after(self, policy, n):
+        original = type(policy)._select_victim
+        state = {"left": n}
+
+        def patched(self_, incoming):
+            if state["left"] <= 0:
+                return None
+            state["left"] -= 1
+            return original(self_, incoming)
+
+        policy._select_victim = patched.__get__(policy)
+        return state
+
+    def test_cold_start_abort_restores_lru_state(self):
+        policy = LFOCache(cache_size=100)  # model None: admit-all LRU
+        policy.on_request(Request(0, 1, 60))
+        policy.on_request(Request(1, 2, 40))
+        self._refusing_after(policy, 1)
+        policy.on_request(Request(2, 3, 90))
+        assert policy.contains(1) and policy.contains(2)
+        assert not policy.contains(3)
+        assert policy.used_bytes == 100
+        assert set(policy._lru) == {1, 2}
+
+    def test_model_mode_abort_reranks_restored_victims(self):
+        model = _toy_model(cutoff=0.0)  # admit everything, rank by score
+        policy = LFOCache(cache_size=100, model=model, n_gaps=4)
+        policy.on_request(Request(0, 1, 60))
+        policy.on_request(Request(1, 2, 40))
+        assert policy.used_bytes == 100
+        state = self._refusing_after(policy, 1)
+        policy.on_request(Request(2, 3, 90))
+        assert policy.contains(1) and policy.contains(2)
+        assert policy.used_bytes == 100
+        # The restored victim must be re-ranked: victim selection still
+        # reaches both residents once the refusal is lifted.
+        state["left"] = 10
+        policy.on_request(Request(3, 3, 90))
+        assert policy.contains(3)
+        assert not policy.contains(1) and not policy.contains(2)

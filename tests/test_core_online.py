@@ -1,5 +1,7 @@
 """Tests for the online windowed LFO loop (the paper's Figure 2)."""
 
+from concurrent.futures import Future
+
 import numpy as np
 import pytest
 
@@ -8,12 +10,51 @@ from repro.core import LFOOnline, OptLabelConfig
 from repro.gbdt import GBDTParams
 from repro.sim import simulate
 from repro.trace import (
+    Request,
     SyntheticConfig,
     generate_adversarial_scan,
     generate_trace,
 )
 
 FAST_PARAMS = GBDTParams(num_iterations=10)
+
+
+class ImmediateExecutor:
+    """Runs submissions synchronously — deterministic background tests."""
+
+    def submit(self, fn, *args, **kwargs):
+        future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # pragma: no cover - test plumbing
+            future.set_exception(exc)
+        return future
+
+
+class ManualExecutor:
+    """Captures submissions without running them; tests resolve by hand."""
+
+    def __init__(self):
+        self.calls: list[tuple] = []
+
+    def submit(self, fn, *args, **kwargs):
+        future = Future()
+        future.set_running_or_notify_cancel()
+        self.calls.append((fn, args, kwargs, future))
+        return future
+
+    def run_call(self, index: int) -> None:
+        """Execute a captured submission and resolve its future."""
+        fn, args, kwargs, future = self.calls[index]
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:
+            future.set_exception(exc)
+
+
+def degenerate_window(n: int, start_obj: int = 10_000_000) -> list[Request]:
+    """One-touch requests (no recurrence -> zero positive OPT labels)."""
+    return [Request(float(i), start_obj + i, 10) for i in range(n)]
 
 
 @pytest.fixture(scope="module")
@@ -45,6 +86,16 @@ class TestOptLabelConfig:
     def test_unknown_mode_rejected(self, small_zipf_trace):
         with pytest.raises(ValueError):
             OptLabelConfig(mode="magic").compute(small_zipf_trace, 500)
+
+    def test_parallel_segmented_labels_identical(self, small_zipf_trace):
+        serial = OptLabelConfig(mode="segmented", segment_length=500)
+        parallel = OptLabelConfig(
+            mode="segmented", segment_length=500, n_jobs=2
+        )
+        assert (
+            serial.compute(small_zipf_trace, 500)
+            == parallel.compute(small_zipf_trace, 500)
+        ).all()
 
 
 class TestLFOOnline:
@@ -109,3 +160,177 @@ class TestLFOOnline:
         for request in online_trace[:1200]:
             policy.on_request(request)
         assert len(policy._buffer_requests) == 200
+
+
+class TestRetrainBoundaries:
+    """Window hand-over edge cases, serial mode."""
+
+    def _policy(self, online_trace, window=500):
+        cache = online_trace.footprint() // 8
+        return LFOOnline(
+            cache, window=window, gbdt_params=FAST_PARAMS, n_gaps=5,
+            label_config=OptLabelConfig(mode="segmented", segment_length=250),
+        )
+
+    def test_flush_at_exactly_window_requests(self, online_trace):
+        policy = self._policy(online_trace)
+        for request in online_trace[:500]:
+            policy.on_request(request)
+        assert len(policy._buffer_requests) == 0
+        assert len(policy._buffer_features) == 0
+        assert policy.n_retrains == 1
+        assert policy.model is not None
+
+    def test_one_request_shy_of_window(self, online_trace):
+        policy = self._policy(online_trace)
+        for request in online_trace[:499]:
+            policy.on_request(request)
+        assert len(policy._buffer_requests) == 499
+        assert policy.n_retrains == 0
+        assert policy.model is None
+
+    def test_min_positive_skip_preserves_model(self, online_trace):
+        policy = self._policy(online_trace)
+        for request in online_trace[:500]:
+            policy.on_request(request)
+        model = policy.model
+        assert model is not None
+        # A degenerate one-touch window: zero positive labels, no retrain,
+        # and the previously installed model keeps serving untouched.
+        for request in degenerate_window(500):
+            policy.on_request(request)
+        assert policy.model is model
+        assert policy.n_retrains == 1
+
+    def test_serial_counters(self, online_trace):
+        policy = self._policy(online_trace)
+        for request in online_trace[:1000]:
+            policy.on_request(request)
+        assert policy.n_retrains == 2
+        assert policy.n_skipped_retrains == 0
+        assert policy.n_failed_retrains == 0
+        assert policy.last_training_seconds > 0.0
+        assert policy.training_pending is False
+        assert policy.finish_training() is False  # nothing in flight
+
+    def test_training_stats_surfaced_in_simresult(self, online_trace):
+        policy = self._policy(online_trace)
+        result = simulate(online_trace[:1000], policy)
+        assert result.training is not None
+        assert result.training["n_retrains"] == policy.n_retrains == 2
+        assert result.training["training_pending"] is False
+        # Static policies report no training block.
+        lru = simulate(online_trace[:200], LRUCache(1000))
+        assert lru.training is None
+
+    def test_reset_clears_training_state(self, online_trace):
+        policy = self._policy(online_trace)
+        for request in online_trace[:700]:
+            policy.on_request(request)
+        policy.reset()
+        assert policy.n_retrains == 0
+        assert policy.last_training_seconds == 0.0
+        assert len(policy._buffer_requests) == 0
+
+
+class TestBackgroundRetraining:
+    """The production-shaped hand-over: training off the request path."""
+
+    def _policy(self, online_trace, executor, window=500):
+        cache = online_trace.footprint() // 8
+        return LFOOnline(
+            cache, window=window, gbdt_params=FAST_PARAMS, n_gaps=5,
+            label_config=OptLabelConfig(mode="segmented", segment_length=250),
+            background=True, executor=executor,
+        )
+
+    def test_model_handed_over_after_completion(self, online_trace):
+        executor = ManualExecutor()
+        policy = self._policy(online_trace, executor)
+        for request in online_trace[:500]:
+            policy.on_request(request)
+        # Window closed: job submitted, nothing installed yet.
+        assert len(executor.calls) == 1
+        assert policy.model is None
+        assert policy.n_retrains == 0
+        assert policy.training_pending is True
+        # Requests keep flowing on the cold-start model while "training".
+        policy.on_request(online_trace[500])
+        assert policy.model is None
+        # Training completes; the very next request swaps the model in.
+        executor.run_call(0)
+        policy.on_request(online_trace[501])
+        assert policy.model is not None
+        assert policy.n_retrains == 1
+        assert policy.training_pending is False
+
+    def test_busy_trainer_drops_window(self, online_trace):
+        executor = ManualExecutor()
+        policy = self._policy(online_trace, executor)
+        for request in online_trace[:1500]:
+            policy.on_request(request)
+        # Three windows closed; the first is still training, so the other
+        # two were dropped rather than queued.
+        assert len(executor.calls) == 1
+        assert policy.n_skipped_retrains == 2
+        assert policy.n_retrains == 0
+        executor.run_call(0)
+        assert policy.finish_training() is True
+        assert policy.n_retrains == 1
+        assert policy.model is not None
+
+    def test_immediate_executor_matches_serial_count(self, online_trace):
+        policy = self._policy(online_trace, ImmediateExecutor())
+        for request in online_trace[:1000]:
+            policy.on_request(request)
+        policy.finish_training()  # the last window's job finished with the
+        # trace; install it the way the next request would have.
+        # The job finishes before the next request, so no window is skipped.
+        assert policy.n_retrains == 2
+        assert policy.n_skipped_retrains == 0
+        assert policy.last_training_seconds > 0.0
+
+    def test_failed_training_keeps_current_model(self, online_trace):
+        policy = self._policy(online_trace, ImmediateExecutor())
+        for request in online_trace[:500]:
+            policy.on_request(request)
+        policy.on_request(online_trace[500])
+        model = policy.model
+        assert model is not None and policy.n_retrains == 1
+        # Sabotage the next window's label solve; the failure must be
+        # counted and absorbed, never propagated to the request path.
+        policy.label_config = OptLabelConfig(mode="broken")
+        with pytest.warns(RuntimeWarning, match="retrain failed"):
+            for request in online_trace[501:1001]:
+                policy.on_request(request)
+        assert policy.model is model
+        assert policy.n_failed_retrains == 1
+        assert policy.n_retrains == 1
+
+    def test_degenerate_window_in_background(self):
+        policy = LFOOnline(
+            cache_size=1000, window=400, gbdt_params=FAST_PARAMS, n_gaps=5,
+            background=True, executor=ImmediateExecutor(),
+        )
+        for request in degenerate_window(900):
+            policy.on_request(request)
+        assert policy.model is None
+        assert policy.n_retrains == 0
+        assert policy.n_failed_retrains == 0
+
+    def test_thread_executor_end_to_end(self, online_trace):
+        """Default (real thread) trainer: drain at end, then close."""
+        cache = online_trace.footprint() // 8
+        policy = LFOOnline(
+            cache, window=1000, gbdt_params=FAST_PARAMS, n_gaps=5,
+            label_config=OptLabelConfig(mode="segmented", segment_length=250),
+            background=True,
+        )
+        simulate(online_trace, policy)
+        policy.finish_training()
+        policy.close()
+        assert policy.training_pending is False
+        assert policy.n_retrains >= 1
+        assert policy.model is not None
+        closed = policy.n_retrains + policy.n_skipped_retrains
+        assert closed == len(online_trace) // 1000

@@ -169,3 +169,55 @@ class TestRandomisedCrossCheck:
         check_flow(net, result, caps)
         reference = solve_with_networkx(supplies, arcs)
         assert result.total_cost == pytest.approx(reference, abs=1e-6)
+
+
+class TestSolverReentrancy:
+    """The solver must leave the caller's network structurally intact:
+    virtual source/sink arcs are stripped on exit (regression: their
+    residual partners lingered in real nodes' adjacency with mutated
+    capacities, corrupting any later pass over the same network)."""
+
+    def _chain(self):
+        net = FlowNetwork(3)
+        net.add_arc(0, 1, 10, 1.0)
+        net.add_arc(1, 2, 10, 2.0)
+        net.add_supply(0, 4)
+        net.add_supply(2, -4)
+        return net
+
+    def test_virtual_arcs_stripped_after_solve(self):
+        net = self._chain()
+        n_arcs = len(net.arc_to)
+        adjacency = [list(a) for a in net.adjacency]
+        solve_min_cost_flow(net)
+        assert len(net.arc_to) == n_arcs
+        assert len(net.arc_cap) == n_arcs
+        assert len(net.arc_cost) == n_arcs
+        assert len(net._arc_tail) == n_arcs
+        assert net.n_nodes == 3
+        assert [list(a) for a in net.adjacency] == adjacency
+        # The flow itself stays encoded in the real arcs' residuals.
+        assert net.arc_flow(0) == 4 and net.arc_flow(2) == 4
+
+    def test_virtual_arcs_stripped_after_infeasible(self):
+        net = FlowNetwork(2)
+        net.add_arc(0, 1, 1, 1.0)
+        net.add_supply(0, 5)
+        net.add_supply(1, -5)
+        n_arcs = len(net.arc_to)
+        with pytest.raises(InfeasibleFlowError):
+            solve_min_cost_flow(net)
+        assert len(net.arc_to) == n_arcs
+        assert net.n_nodes == 2
+        assert all(a < n_arcs for adj in net.adjacency for a in adj)
+
+    def test_second_solve_sees_no_stale_arcs(self):
+        net = self._chain()
+        first = solve_min_cost_flow(net)
+        assert first.total_cost == pytest.approx(12.0)
+        # Supplies are untouched, so a second solve routes 4 more units
+        # through the residual graph — exercising every arc iteration that
+        # previously hit the stale virtual arcs.
+        second = solve_min_cost_flow(net)
+        assert second.total_cost == pytest.approx(12.0)
+        assert net.arc_flow(0) == 8 and net.arc_flow(2) == 8

@@ -1,0 +1,91 @@
+"""Tests for parallel segmented OPT labeling (process-pool fan-out)."""
+
+import numpy as np
+import pytest
+
+from repro.opt import solve_segmented, solve_segmented_parallel
+from repro.trace import Request, Trace
+
+
+class TestSolveSegmentedParallel:
+    def test_bit_identical_to_serial(self, small_zipf_trace):
+        cache = 500
+        serial = solve_segmented(small_zipf_trace, cache, 300)
+        parallel = solve_segmented_parallel(
+            small_zipf_trace, cache, 300, n_jobs=2
+        )
+        assert (serial.decisions == parallel.decisions).all()
+        assert serial.miss_cost == parallel.miss_cost
+        assert serial.n_segments == parallel.n_segments
+        assert serial.solved_requests == parallel.solved_requests
+
+    def test_bit_identical_without_lookahead(self, small_zipf_trace):
+        cache = 500
+        serial = solve_segmented(small_zipf_trace, cache, 400, lookahead=0)
+        parallel = solve_segmented_parallel(
+            small_zipf_trace, cache, 400, lookahead=0, n_jobs=2
+        )
+        assert (serial.decisions == parallel.decisions).all()
+        assert serial.solved_requests == parallel.solved_requests == len(
+            small_zipf_trace
+        )
+
+    def test_n_jobs_one_matches_serial(self, small_zipf_trace):
+        cache = 500
+        serial = solve_segmented(small_zipf_trace, cache, 300)
+        same = solve_segmented_parallel(small_zipf_trace, cache, 300, n_jobs=1)
+        assert (serial.decisions == same.decisions).all()
+
+    def test_single_segment_window(self):
+        trace = Trace(
+            [Request(t, o, 10) for t, o in enumerate([1, 2, 1, 3, 2, 1])]
+        )
+        serial = solve_segmented(trace, 30, 100)
+        parallel = solve_segmented_parallel(trace, 30, 100, n_jobs=4)
+        assert (serial.decisions == parallel.decisions).all()
+
+    def test_uneven_final_segment(self, small_zipf_trace):
+        # 2000 requests, segment 700 -> segments of 700/700/600.
+        cache = 500
+        serial = solve_segmented(small_zipf_trace, cache, 700)
+        parallel = solve_segmented_parallel(
+            small_zipf_trace, cache, 700, n_jobs=3
+        )
+        assert (serial.decisions == parallel.decisions).all()
+        assert parallel.n_segments == 3
+
+    def test_invalid_args(self, small_zipf_trace):
+        with pytest.raises(ValueError):
+            solve_segmented_parallel(small_zipf_trace, 500, 0, n_jobs=2)
+        with pytest.raises(ValueError):
+            solve_segmented_parallel(
+                small_zipf_trace, 500, 300, lookahead=-1, n_jobs=2
+            )
+        with pytest.raises(ValueError):
+            solve_segmented_parallel(small_zipf_trace, 500, 300, n_jobs=0)
+
+    def test_decisions_only_for_recurring(self, small_zipf_trace):
+        parallel = solve_segmented_parallel(
+            small_zipf_trace, 500, 300, n_jobs=2
+        )
+        nxt = small_zipf_trace.next_occurrence()
+        assert not parallel.decisions[nxt < 0].any()
+        assert parallel.decisions.dtype == bool
+        assert len(parallel.decisions) == len(small_zipf_trace)
+
+
+class TestSolvedRequestsAccounting:
+    def test_counts_lookahead_overlap(self, small_zipf_trace):
+        """solved_requests is the work done: core + lookahead per segment."""
+        n = len(small_zipf_trace)
+        plain = solve_segmented(small_zipf_trace, 500, 500, lookahead=0)
+        assert plain.solved_requests == n
+        overlap = solve_segmented(small_zipf_trace, 500, 500, lookahead=250)
+        # 4 segments; the first three re-solve 250 lookahead requests each,
+        # the last one ends at the trace boundary.
+        assert overlap.solved_requests == n + 3 * 250
+
+    def test_single_segment_counts_once(self, small_zipf_trace):
+        n = len(small_zipf_trace)
+        seg = solve_segmented(small_zipf_trace, 500, n)
+        assert seg.solved_requests == n
