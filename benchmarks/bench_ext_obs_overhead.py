@@ -1,0 +1,122 @@
+"""Extension experiment: request-path cost of the observability layer.
+
+The paper's "lightweight" claim makes instrumentation a deployment
+question: metrics are only admissible if collecting them does not disturb
+the request path they measure.  ``repro.obs`` is designed for that —
+counters fold in after the simulation loop from vectorised hit flags,
+spans wrap *stages* (never individual requests), and the per-request
+feature-extraction histogram is the single instrument on the hot path.
+
+This benchmark measures end-to-end ``simulate`` throughput twice per
+policy — under the default ``NullRegistry`` (observability off) and under
+a live ``MetricsRegistry`` — and asserts the enabled overhead stays below
+3%.  Two policies bracket the cost:
+
+* **LRU** — the cheapest per-request work, so the worst case for relative
+  simulator-loop overhead;
+* **LFO-online** (serial) — exercises every instrumented stage: tracker
+  latency, the window-close -> label-solve -> gbdt-fit -> model-install
+  span chain, and the per-iteration GBDT histogram.
+
+Each mode is timed ``ROUNDS`` times interleaved (fresh policy per round,
+best-of taken) to suppress scheduler noise.  The enabled LFO run's full
+registry snapshot is written to ``results/ext_obs_overhead.json`` — the
+artifact CI uploads — alongside the usual text table.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from common import RESULTS_DIR, cdn_mix_trace, report, stage_table, table
+
+from repro.cache import LRUCache
+from repro.core import LFOOnline, OptLabelConfig
+from repro.gbdt import GBDTParams
+from repro.obs import MetricsRegistry, NullRegistry, use_registry, write_json
+from repro.sim import simulate
+
+#: Smoke knobs for CI: OBS_BENCH_REQUESTS scales both traces, OBS_BENCH_ROUNDS
+#: the repeat count.
+N_REQUESTS = int(os.environ.get("OBS_BENCH_REQUESTS", "20000"))
+N_LFO_REQUESTS = max(2_000, N_REQUESTS // 2)
+ROUNDS = int(os.environ.get("OBS_BENCH_ROUNDS", "3"))
+OVERHEAD_LIMIT = 0.03
+
+FAST_PARAMS = GBDTParams(num_iterations=10)
+
+
+def _policies(trace, lfo_trace):
+    cache = trace.footprint() // 10
+    lfo_cache = lfo_trace.footprint() // 10
+    return {
+        "LRU": (trace, lambda: LRUCache(cache)),
+        "LFO-online": (
+            lfo_trace,
+            lambda: LFOOnline(
+                lfo_cache,
+                window=max(1_000, len(lfo_trace) // 3),
+                gbdt_params=FAST_PARAMS,
+                n_gaps=10,
+                label_config=OptLabelConfig(
+                    mode="segmented", segment_length=1_000
+                ),
+            ),
+        ),
+    }
+
+
+def _best_time(trace, factory, registry) -> float:
+    """Best-of-ROUNDS wall-clock for one (policy, registry) combination."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        policy = factory()
+        with use_registry(registry):
+            started = perf_counter()
+            simulate(trace, policy)
+            best = min(best, perf_counter() - started)
+    return best
+
+
+def run_obs_overhead():
+    trace = cdn_mix_trace(N_REQUESTS)
+    lfo_trace = cdn_mix_trace(N_LFO_REQUESTS, seed=43)
+    rows = []
+    overheads = {}
+    snapshot = None
+    for name, (bench_trace, factory) in _policies(trace, lfo_trace).items():
+        null_registry = NullRegistry()
+        live_registry = MetricsRegistry()
+        t_null = _best_time(bench_trace, factory, null_registry)
+        t_live = _best_time(bench_trace, factory, live_registry)
+        overhead = (t_live - t_null) / t_null
+        overheads[name] = overhead
+        n = len(bench_trace)
+        rows.append(
+            [name, n, n / t_null, n / t_live, 100.0 * overhead]
+        )
+        snapshot = live_registry  # the LFO registry (last) goes to JSON
+    return rows, overheads, snapshot
+
+
+def test_obs_overhead(benchmark):
+    rows, overheads, registry = benchmark.pedantic(
+        run_obs_overhead, rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_json(registry.to_dict(), RESULTS_DIR / "ext_obs_overhead.json")
+    report(
+        "ext_obs_overhead",
+        table(
+            ["policy", "requests", "null_req_s", "enabled_req_s", "ovh_pct"],
+            rows,
+        )
+        + f"\n(best of {ROUNDS} rounds per mode; limit "
+        f"{100 * OVERHEAD_LIMIT:.0f}%)\n\n"
+        "per-stage breakdown of the instrumented LFO run:\n"
+        + stage_table(registry),
+    )
+    # The deployability gate: observability must stay in the noise floor.
+    for name, overhead in overheads.items():
+        assert overhead < OVERHEAD_LIMIT, (name, overhead)

@@ -13,8 +13,10 @@ that ``pytest benchmarks/ --benchmark-only`` leaves a readable record.
 from __future__ import annotations
 
 import io
+from contextlib import contextmanager
 from pathlib import Path
 
+from repro.obs import MetricsRegistry, use_registry
 from repro.trace import (
     ContentClass,
     SyntheticConfig,
@@ -78,6 +80,39 @@ def report(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(RESULTS_DIR / f"{name}.txt", "w") as handle:
         handle.write(text + "\n")
+
+
+@contextmanager
+def observed(ring_size: int = 256):
+    """Install a fresh :class:`repro.obs.MetricsRegistry` for the block.
+
+    Benchmarks that want per-stage breakdowns wrap the measured run::
+
+        with observed() as registry:
+            simulate(trace, policy)
+        report("my_bench", stage_table(registry))
+
+    instead of sprinkling their own ``time.perf_counter()`` pairs.
+    """
+    registry = MetricsRegistry(ring_size=ring_size)
+    with use_registry(registry):
+        yield registry
+
+
+def stage_table(registry) -> str:
+    """Render a registry's span aggregates as a per-stage breakdown table."""
+    spans = registry.to_dict()["spans"]
+    rows = [
+        [
+            name,
+            stats["count"],
+            stats["total_seconds"],
+            stats["mean_seconds"],
+            stats["max_seconds"],
+        ]
+        for name, stats in sorted(spans.items())
+    ]
+    return table(["stage", "calls", "total_s", "mean_s", "max_s"], rows)
 
 
 def table(header: list[str], rows: list[list]) -> str:

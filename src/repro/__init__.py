@@ -29,6 +29,13 @@ from .core import (
     prepare_windows,
     train_and_evaluate,
 )
+from .obs import (
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
 from .opt import opt_hit_ratios, solve_opt, solve_pruned, solve_segmented
 from .sim import compare_policies, format_table, simulate
 from .trace import (
@@ -53,6 +60,11 @@ __all__ = [
     "OptLabelConfig",
     "prepare_windows",
     "train_and_evaluate",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
     "opt_hit_ratios",
     "solve_opt",
     "solve_pruned",

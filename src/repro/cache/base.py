@@ -33,6 +33,7 @@ class CachePolicy(ABC):
             raise ValueError("cache_size must be positive")
         self.cache_size = int(cache_size)
         self.used_bytes = 0
+        self.n_evictions = 0
         self._entries: dict[int, int] = {}  # obj -> size
 
     # -- public API ---------------------------------------------------------
@@ -83,11 +84,14 @@ class CachePolicy(ABC):
                 return False
             evicted.append((victim, self._entries[victim]))
             self._remove(victim)
+        # Only completed plans count: restored victims were never evicted.
+        self.n_evictions += len(evicted)
         return True
 
     def reset(self) -> None:
         """Clear all cache state."""
         self.used_bytes = 0
+        self.n_evictions = 0
         self._entries.clear()
         self._reset_policy_state()
 

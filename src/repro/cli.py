@@ -7,15 +7,24 @@ Installed as the ``lfo`` console script::
     lfo opt trace.bin --cache-mb 1 --segment 1000
     lfo compare trace.bin --cache-fraction 10 --policies LRU,GDSF,S4LRU
     lfo simulate trace.bin --cache-fraction 10 --window 5000
+    lfo simulate trace.bin --window 5000 --metrics-out metrics.json
+
+Results go to stdout; progress and diagnostics go to stderr, so output
+stays pipeable.  ``--metrics-out PATH`` (on ``simulate``, ``compare`` and
+``experiment``) installs a :class:`repro.obs.MetricsRegistry` for the run
+and writes its snapshot — request counters, per-stage histograms, and the
+retraining span tree — plus the run's result as one JSON document.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from .core import LFOOnline, OptLabelConfig
+from .obs import MetricsRegistry, get_registry, use_registry
 from .opt import opt_bhr_bounds, solve_segmented
 from .sim import (
     compare_policies,
@@ -39,10 +48,32 @@ from .trace import (
 __all__ = ["main", "build_parser"]
 
 
+def _diag(message: str) -> None:
+    """Progress/diagnostic output: stderr, so results stay pipeable."""
+    print(message, file=sys.stderr)
+
+
 def _load_trace(path: str) -> Trace:
     if path.endswith(".bin"):
         return read_binary_trace(path)
     return read_text_trace(path)
+
+
+def _make_registry(args: argparse.Namespace):
+    """A fresh metrics registry when ``--metrics-out`` asks for one,
+    otherwise whatever is already installed (``NullRegistry`` by default)."""
+    if getattr(args, "metrics_out", None):
+        return MetricsRegistry()
+    return get_registry()
+
+
+def _write_metrics(path: str, registry, result) -> None:
+    """Dump the run's registry snapshot plus the result as one JSON doc."""
+    document = {"metrics": registry.to_dict(), "result": result}
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    _diag(f"metrics written to {path}")
 
 
 def _resolve_cache(args: argparse.Namespace, trace: Trace) -> int:
@@ -88,6 +119,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_opt(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     cache_size = _resolve_cache(args, trace)
+    _diag(f"solving {len(trace)} requests, cache {cache_size} bytes")
     result = solve_segmented(trace, cache_size, args.segment)
     total_bytes = float(trace.sizes.sum())
     print(f"cache size        {cache_size}")
@@ -105,17 +137,34 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     cache_size = _resolve_cache(args, trace)
     subset = args.policies.split(",") if args.policies else None
-    results = compare_policies(
-        trace, cache_size, factories=policy_factories(subset),
-        warmup_fraction=args.warmup,
+    _diag(
+        f"comparing {len(policy_factories(subset))} policies over "
+        f"{len(trace)} requests, cache {cache_size} bytes"
     )
+    registry = _make_registry(args)
+    with use_registry(registry):
+        results = compare_policies(
+            trace, cache_size, factories=policy_factories(subset),
+            warmup_fraction=args.warmup,
+        )
     print(format_table(results, sort_by=args.sort_by))
+    if args.metrics_out:
+        # Per-policy snapshots are cumulative views of the same registry;
+        # the top-level "metrics" key already carries the final one.
+        rows = {}
+        for name, result in results.items():
+            rows[name] = {**result.to_dict(), "metrics": None}
+        _write_metrics(args.metrics_out, registry, rows)
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     cache_size = _resolve_cache(args, trace)
+    _diag(
+        f"simulating online LFO over {len(trace)} requests, "
+        f"cache {cache_size} bytes, window {args.window}"
+    )
     lfo = LFOOnline(
         cache_size,
         window=args.window,
@@ -124,12 +173,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             mode=args.label_mode, segment_length=args.segment
         ),
     )
-    result = simulate(trace, lfo, warmup_fraction=args.warmup)
+    registry = _make_registry(args)
+    with use_registry(registry):
+        result = simulate(trace, lfo, warmup_fraction=args.warmup)
     print(f"policy     {result.policy}")
     print(f"requests   {result.n_requests}")
     print(f"retrains   {lfo.n_retrains}")
     print(f"BHR        {result.bhr:.4f}")
     print(f"OHR        {result.ohr:.4f}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, registry, result.to_dict())
     return 0
 
 
@@ -150,12 +203,15 @@ def _cmd_hrc(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    import json as _json
-
     spec = load_spec(args.spec)
-    outcome = run_experiment(spec)
+    _diag(f"running experiment spec {args.spec}")
+    registry = _make_registry(args)
+    with use_registry(registry):
+        outcome = run_experiment(spec)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, registry, outcome)
     if args.json:
-        print(_json.dumps(outcome, indent=2))
+        print(json.dumps(outcome, indent=2))
     else:
         print(f"trace      {outcome['trace']['name']} "
               f"({outcome['trace']['n_requests']} requests)")
@@ -205,6 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-bytes", type=int,
                        help="cache size in bytes (overrides everything)")
 
+    def add_metrics_out(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="collect repro.obs metrics during the run and "
+                            "write them (plus the result) as JSON to PATH")
+
     p_stats = sub.add_parser("stats", help="print trace statistics")
     p_stats.add_argument("trace")
     p_stats.set_defaults(func=_cmd_stats)
@@ -220,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated subset, e.g. LRU,GDSF,S4LRU")
     p_cmp.add_argument("--warmup", type=float, default=0.25)
     p_cmp.add_argument("--sort-by", choices=("bhr", "ohr"), default="bhr")
+    add_metrics_out(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_sim = sub.add_parser("simulate", help="run online LFO over a trace")
@@ -230,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--label-mode", default="segmented",
                        choices=("exact", "segmented", "pruned"))
     p_sim.add_argument("--warmup", type=float, default=0.25)
+    add_metrics_out(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_hrc = sub.add_parser(
@@ -245,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("spec", help="path to a JSON experiment spec")
     p_exp.add_argument("--json", action="store_true",
                        help="emit the full result as JSON")
+    add_metrics_out(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     return parser

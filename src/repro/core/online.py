@@ -23,7 +23,7 @@ that training tasks do not interfere with the request traffic":
 
 from __future__ import annotations
 
-import time
+import logging
 import warnings
 from concurrent.futures import CancelledError, Executor, Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -32,6 +32,7 @@ import numpy as np
 
 from ..features import Dataset, feature_names
 from ..gbdt import GBDTParams
+from ..obs import get_registry
 from ..opt import (
     solve_greedy,
     solve_opt,
@@ -43,6 +44,10 @@ from ..trace import Request, Trace
 from .lfo import LFOCache, LFOModel
 
 __all__ = ["LFOOnline", "OptLabelConfig"]
+
+#: Production log channel for the retraining loop: dropped windows, failed
+#: or unsubmittable training jobs (with tracebacks via ``exc_info``).
+logger = logging.getLogger("repro.online")
 
 
 @dataclass(frozen=True)
@@ -119,19 +124,29 @@ def _train_window(
     windows with fewer than ``min_positive_labels`` positive decisions
     (e.g. a pure scan), where training would produce a broken
     all-negative predictor.
+
+    Timing comes from :mod:`repro.obs` spans — ``online.label_solve`` and
+    ``online.gbdt_fit`` nested under ``online.train_window`` — which also
+    aggregate into the active registry (a no-op in process-pool workers,
+    whose registry defaults to ``NullRegistry``).
     """
-    started = time.perf_counter()
-    window_trace = Trace(requests, name=window_name)
-    labels = label_config.compute(window_trace, cache_size)
-    if labels.sum() < min_positive_labels:
-        return None, time.perf_counter() - started
-    dataset = Dataset(
-        X=features,
-        y=labels.astype(np.float64),
-        names=feature_names(n_gaps),
-    )
-    model = LFOModel.train(dataset, params=gbdt_params, cutoff=cutoff)
-    return model, time.perf_counter() - started
+    registry = get_registry()
+    model: LFOModel | None = None
+    with registry.span("online.train_window") as train_span:
+        window_trace = Trace(requests, name=window_name)
+        with registry.span("online.label_solve"):
+            labels = label_config.compute(window_trace, cache_size)
+        if labels.sum() >= min_positive_labels:
+            dataset = Dataset(
+                X=features,
+                y=labels.astype(np.float64),
+                names=feature_names(n_gaps),
+            )
+            with registry.span("online.gbdt_fit"):
+                model = LFOModel.train(
+                    dataset, params=gbdt_params, cutoff=cutoff
+                )
+    return model, train_span.elapsed
 
 
 class LFOOnline(LFOCache):
@@ -276,43 +291,57 @@ class LFOOnline(LFOCache):
     # -- window hand-over ----------------------------------------------------
 
     def _retrain(self) -> None:
-        requests = self._buffer_requests
-        self._buffer_requests = []
-        features = np.vstack(self._buffer_features)
-        self._buffer_features = []
-        name = f"W[{self._windows_closed}]"
-        self._windows_closed += 1
-        args = (
-            requests, features, self.label_config, self.cache_size,
-            self.gbdt_params, self.cutoff, self.min_positive_labels,
-            self._tracker.n_gaps, name,
-        )
-
-        if not self.background:
-            model, elapsed = _train_window(*args)
-            self.last_training_seconds = elapsed
-            if model is not None:
-                self.set_model(model)
-                self.n_retrains += 1
-            return
-
-        if self._pending is not None:
-            if not self._pending.done():
-                # Trainer still busy: drop this window, keep serving on the
-                # current model rather than queueing unbounded work.
-                self.n_skipped_retrains += 1
-                return
-            self._install_trained_model()
-        try:
-            self._pending = self._trainer().submit(_train_window, *args)
-        except Exception as exc:  # broken pool must never break serving
-            self.n_failed_retrains += 1
-            warnings.warn(
-                f"could not submit background retrain ({exc!r}); "
-                "keeping current model",
-                RuntimeWarning,
-                stacklevel=2,
+        registry = get_registry()
+        with registry.span("online.window_close"):
+            requests = self._buffer_requests
+            self._buffer_requests = []
+            features = np.vstack(self._buffer_features)
+            self._buffer_features = []
+            name = f"W[{self._windows_closed}]"
+            self._windows_closed += 1
+            args = (
+                requests, features, self.label_config, self.cache_size,
+                self.gbdt_params, self.cutoff, self.min_positive_labels,
+                self._tracker.n_gaps, name,
             )
+
+            if not self.background:
+                model, elapsed = _train_window(*args)
+                self.last_training_seconds = elapsed
+                if model is not None:
+                    with registry.span("online.model_install"):
+                        self.set_model(model)
+                    self.n_retrains += 1
+                return
+
+            if self._pending is not None:
+                if not self._pending.done():
+                    # Trainer still busy: drop this window, keep serving on
+                    # the current model rather than queueing unbounded work.
+                    self.n_skipped_retrains += 1
+                    registry.counter("online.skipped_retrains").inc()
+                    logger.info(
+                        "trainer busy; dropping window %s (%d requests, "
+                        "%d windows dropped so far)",
+                        name, len(requests), self.n_skipped_retrains,
+                    )
+                    return
+                self._install_trained_model()
+            try:
+                self._pending = self._trainer().submit(_train_window, *args)
+            except Exception as exc:  # broken pool must never break serving
+                self.n_failed_retrains += 1
+                registry.counter("online.failed_retrains").inc()
+                logger.warning(
+                    "could not submit background retrain for window %s; "
+                    "keeping current model", name, exc_info=exc,
+                )
+                warnings.warn(
+                    f"could not submit background retrain ({exc!r}); "
+                    "keeping current model",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def _install_trained_model(self) -> None:
         """Consume a finished training future; atomic model swap on success."""
@@ -324,9 +353,18 @@ class LFOOnline(LFOCache):
             model, elapsed = future.result()
         except CancelledError:
             self.n_failed_retrains += 1
+            get_registry().counter("online.failed_retrains").inc()
+            logger.warning(
+                "background retrain cancelled; keeping current model"
+            )
             return
         except Exception as exc:
             self.n_failed_retrains += 1
+            get_registry().counter("online.failed_retrains").inc()
+            logger.warning(
+                "background retrain failed; keeping current model",
+                exc_info=exc,
+            )
             warnings.warn(
                 f"background retrain failed ({exc!r}); keeping current model",
                 RuntimeWarning,
@@ -335,7 +373,8 @@ class LFOOnline(LFOCache):
             return
         self.last_training_seconds = elapsed
         if model is not None:
-            self.set_model(model)
+            with get_registry().span("online.model_install"):
+                self.set_model(model)
             self.n_retrains += 1
 
     def _trainer(self) -> Executor:

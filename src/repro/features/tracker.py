@@ -20,9 +20,11 @@ memory stays bounded on adversarial one-touch scans.
 from __future__ import annotations
 
 from collections import OrderedDict
+from time import perf_counter
 
 import numpy as np
 
+from ..obs import get_registry
 from ..trace import Request
 
 __all__ = ["FeatureTracker", "MISSING_GAP", "feature_names"]
@@ -93,6 +95,11 @@ class FeatureTracker:
         self._n_slots = n_gaps + 1
         self.max_objects = max_objects
         self._objects: OrderedDict[int, _ObjectState] = OrderedDict()
+        # Extraction-latency instrument, cached per registry so the enabled
+        # path pays one identity check per request instead of a registry
+        # lookup; None until a real registry is first seen.
+        self._obs_registry = None
+        self._obs_hist = None
 
     @property
     def n_features(self) -> int:
@@ -109,7 +116,24 @@ class FeatureTracker:
 
         Must be called *before* :meth:`update` for the same request, so
         gap_1 reflects the distance to the previous request.
+
+        When a :class:`repro.obs.MetricsRegistry` is active, the
+        extraction latency is observed into the
+        ``features.extract_seconds`` histogram; with the default
+        ``NullRegistry`` the only overhead is one attribute check.
         """
+        registry = get_registry()
+        if not registry.enabled:
+            return self._extract(request, free_bytes)
+        if registry is not self._obs_registry:
+            self._obs_registry = registry
+            self._obs_hist = registry.histogram("features.extract_seconds")
+        started = perf_counter()
+        vec = self._extract(request, free_bytes)
+        self._obs_hist.observe(perf_counter() - started)
+        return vec
+
+    def _extract(self, request: Request, free_bytes: int) -> np.ndarray:
         vec = np.empty(self.n_features, dtype=np.float64)
         vec[0] = request.size
         vec[2] = free_bytes

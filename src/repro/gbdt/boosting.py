@@ -10,9 +10,11 @@ in Figure 5c).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
+from ..obs import get_registry
 from .binning import BinMapper
 from .losses import LogisticLoss, SquaredLoss
 from .tree import Tree, TreeGrowthParams, grow_tree
@@ -115,7 +117,14 @@ class _GBDTBase:
         best_val = np.inf
         best_iter = 0
 
+        # Per-iteration training time (gradients + tree growth + score
+        # update); gated so a disabled registry costs nothing per iteration.
+        registry = get_registry()
+        timing = registry.enabled
+        iteration_hist = registry.histogram("gbdt.iteration_seconds")
+
         for iteration in range(params.num_iterations):
+            iteration_start = perf_counter() if timing else 0.0
             grad, hess = loss.grad_hess(y, raw)
             sample_idx = None
             if params.bagging_fraction < 1.0:
@@ -133,6 +142,8 @@ class _GBDTBase:
             )
             self.trees.append(tree)
             raw += params.learning_rate * tree.predict_binned(binned)
+            if timing:
+                iteration_hist.observe(perf_counter() - iteration_start)
 
             if X_val is not None:
                 raw_val += params.learning_rate * tree.predict_raw_values(X_val)

@@ -1,0 +1,60 @@
+"""Observability: metrics, tracing spans, per-stage pipeline instrumentation.
+
+The paper's "lightweight" claim is only checkable if every stage of the
+Figure-2 loop is measured without disturbing the request path.  This
+package provides the instruments the rest of ``repro`` reports to:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms,
+  and a nested-span tracer with bounded-memory aggregation;
+* :class:`NullRegistry` — the disabled fast path (every operation a no-op);
+* exporters — ``to_dict()`` snapshots, JSON / JSON-lines files, and the
+  Prometheus text format.
+
+Library code looks up the process default via :func:`get_registry` (a
+``NullRegistry`` until one is installed), so importing ``repro`` costs
+nothing; enable collection with::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()) as registry:
+        result = simulate(trace, policy)
+    print(registry.to_prometheus())
+
+``lfo simulate/compare/experiment --metrics-out m.json`` does exactly this
+from the command line.
+"""
+
+from .export import JsonlSink, render_prometheus, write_json
+from .registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    traced,
+    use_registry,
+)
+from .tracing import NullSpan, Span, SpanAggregate, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "traced",
+    "Span",
+    "NullSpan",
+    "SpanAggregate",
+    "Tracer",
+    "JsonlSink",
+    "render_prometheus",
+    "write_json",
+]

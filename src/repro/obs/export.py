@@ -1,0 +1,90 @@
+"""Exporters for registry snapshots: JSON file, JSON-lines sink, Prometheus.
+
+All exporters consume the plain-dict snapshot shape produced by
+``MetricsRegistry.to_dict()`` rather than the registry itself, so snapshots
+can be exported long after the run (e.g. from a ``SimResult.metrics``
+field or a benchmark record).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Union
+
+__all__ = ["render_prometheus", "write_json", "JsonlSink"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """Sanitise a dotted metric name into a Prometheus identifier."""
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms emit the standard
+    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` series; span
+    aggregates are exposed as ``<prefix>_span_seconds_{count,sum,max}``
+    keyed by a ``span`` label.
+    """
+    lines: list[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _prom_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in hist["buckets"]:
+            cumulative += count
+            le = "+Inf" if bound == "+Inf" else repr(float(bound))
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{metric}_sum {hist['total']}")
+        lines.append(f"{metric}_count {hist['count']}")
+
+    spans = snapshot.get("spans", {})
+    if spans:
+        base = f"{prefix}_span_seconds"
+        lines.append(f"# TYPE {base} summary")
+        for name, agg in sorted(spans.items()):
+            label = f'{{span="{name}"}}'
+            lines.append(f"{base}_count{label} {agg['count']}")
+            lines.append(f"{base}_sum{label} {agg['total_seconds']}")
+            lines.append(f"{base}_max{label} {agg['max_seconds']}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_json(snapshot: dict, path: Union[str, Path]) -> None:
+    """Write one snapshot as a pretty-printed JSON document."""
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+
+
+class JsonlSink:
+    """Append-mode JSON-lines sink for periodic snapshots.
+
+    One ``write(snapshot)`` appends one line, so a long run can be sampled
+    (say once per window) and replayed later with any JSONL tooling.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def write(self, snapshot: dict) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(snapshot, separators=(",", ":")))
+            handle.write("\n")

@@ -1,0 +1,323 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, spans.
+
+The request path must never pay for observability it is not using, so the
+registry comes in two flavours behind one interface:
+
+* :class:`MetricsRegistry` — real aggregation.  Hot paths fetch instrument
+  objects once and call plain methods on them: an increment is a single
+  int/float add on a ``__slots__`` object — no locking, no allocation, no
+  string formatting per request.  Locks are only taken on instrument
+  *creation* and span recording (stage granularity, never per request).
+* :class:`NullRegistry` — every instrument is a shared no-op singleton and
+  ``enabled`` is False, so instrumented code can gate its only real cost
+  (``perf_counter`` calls) on one attribute read.
+
+A process-wide default registry (initially a ``NullRegistry``) is what
+instrumented library code reports to; install a real one with
+:func:`set_registry` or scoped via :func:`use_registry`.  Worker processes
+get a fresh ``NullRegistry`` default, so instrumentation inside process
+pools degrades to no-ops instead of breaking pickling.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from contextlib import contextmanager
+from functools import wraps
+
+from .tracing import NullSpan, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "traced",
+]
+
+#: Default histogram bounds for durations in seconds: 1µs .. 10s, decades.
+DEFAULT_TIME_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value (requests, hits, bytes...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (resident objects, used bytes...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/total/max summary.
+
+    ``bounds`` are upper bucket edges; an observation lands in the first
+    bucket whose edge is >= the value, with one implicit overflow bucket.
+    Buckets are fixed at construction so ``observe`` is one bisect plus
+    integer adds — no allocation.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "max")
+
+    def __init__(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "mean": self.total / self.count if self.count else 0.0,
+            "buckets": [
+                [bound, n]
+                for bound, n in zip(
+                    list(self.bounds) + ["+Inf"], self.bucket_counts
+                )
+            ],
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    total = 0.0
+    max = 0.0
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments plus a span tracer, with snapshot exporters.
+
+    Args:
+        ring_size: recent raw spans retained for debugging (0 disables the
+            ring buffer; aggregates are always kept).
+        time_buckets: default histogram bounds for ``histogram()`` calls
+            that do not pass their own.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        ring_size: int = 256,
+        time_buckets=DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._time_buckets = tuple(time_buckets)
+        self.tracer = Tracer(ring_size=ring_size)
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
+        return gauge
+
+    def histogram(self, name: str, bounds=None) -> Histogram:
+        """Get or create the histogram ``name`` (bounds fixed on creation)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(name, bounds or self._time_buckets)
+                )
+        return histogram
+
+    def span(self, name: str) -> Span:
+        """Open a nested wall-time span (``with registry.span("stage"):``)."""
+        return self.tracer.span(name)
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """One JSON-safe snapshot of every instrument and span aggregate."""
+        with self._lock:
+            counters = {n: c.value for n, c in self._counters.items()}
+            gauges = {n: g.value for n, g in self._gauges.items()}
+            histograms = {n: h.as_dict() for n, h in self._histograms.items()}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "spans": self.tracer.snapshot(),
+            "recent_spans": self.tracer.recent(),
+        }
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """The snapshot in Prometheus text exposition format."""
+        from .export import render_prometheus
+
+        return render_prometheus(self.to_dict(), prefix=prefix)
+
+    def write_jsonl(self, path) -> None:
+        """Append the current snapshot as one JSON line to ``path``."""
+        from .export import JsonlSink
+
+        JsonlSink(path).write(self.to_dict())
+
+    def reset(self) -> None:
+        """Drop every instrument and all span state."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+        self.tracer.reset()
+
+
+class NullRegistry:
+    """Disabled observability: same interface, every operation a no-op.
+
+    ``span()`` still measures ``elapsed`` (callers consume it) but records
+    nothing; counters/gauges/histograms are one shared inert instrument.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def span(self, name: str) -> NullSpan:
+        return NullSpan(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans": {},
+            "recent_spans": [],
+        }
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        return ""
+
+    def write_jsonl(self, path) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+# -- process-wide default registry -------------------------------------------
+
+_default_registry: MetricsRegistry | NullRegistry = NullRegistry()
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The registry instrumented library code currently reports to."""
+    return _default_registry
+
+
+def set_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> MetricsRegistry | NullRegistry:
+    """Install ``registry`` as the process default; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | NullRegistry):
+    """Scoped :func:`set_registry`: install for the block, then restore."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def traced(name: str):
+    """Decorator form of the tracer: time every call as a span ``name``.
+
+    The registry is looked up at *call* time, so functions decorated at
+    import keep honouring :func:`use_registry` scopes.
+    """
+
+    def decorate(fn):
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            with get_registry().span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

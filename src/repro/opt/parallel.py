@@ -21,9 +21,11 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
 
 import numpy as np
 
+from ..obs import get_registry
 from ..trace import Request, Trace
 from .mincost import solve_opt
 from .segmentation import (
@@ -35,15 +37,22 @@ from .segmentation import (
 __all__ = ["solve_segmented_parallel"]
 
 
-def _solve_segment(payload: tuple[list[Request], int, int]) -> np.ndarray:
-    """Worker: solve one segment, return its core (non-lookahead) labels.
+def _solve_segment(
+    payload: tuple[list[Request], int, int]
+) -> tuple[np.ndarray, float]:
+    """Worker: solve one segment, return its core (non-lookahead) labels
+    plus the solve's wall-clock seconds.
 
     Module-level so it pickles for process pools; the payload is
-    ``(segment requests incl. lookahead, cache_size, core length)``.
+    ``(segment requests incl. lookahead, cache_size, core length)``.  The
+    duration is measured here (the parent's registry is unreachable from a
+    worker process) and folded into the parent's per-segment histogram on
+    return.
     """
     requests, cache_size, core_length = payload
+    started = perf_counter()
     result = solve_opt(Trace(requests), cache_size)
-    return result.decisions[:core_length]
+    return result.decisions[:core_length], perf_counter() - started
 
 
 def solve_segmented_parallel(
@@ -93,11 +102,12 @@ def solve_segmented_parallel(
             trace, cache_size, segment_length, lookahead=lookahead
         )
 
+    registry = get_registry()
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(n_jobs, len(payloads))
-        ) as pool:
-            cores = list(pool.map(_solve_segment, payloads))
+        with registry.span("opt.pool_setup"):
+            pool = ProcessPoolExecutor(max_workers=min(n_jobs, len(payloads)))
+        with pool, registry.span("opt.parallel_solve"):
+            solved = list(pool.map(_solve_segment, payloads))
     except (OSError, PermissionError, ImportError) as exc:
         # No usable multiprocessing primitives in this environment (e.g. a
         # sandbox without /dev/shm): degrade to the serial solve, which
@@ -112,9 +122,11 @@ def solve_segmented_parallel(
             trace, cache_size, segment_length, lookahead=lookahead
         )
 
+    segment_hist = registry.histogram("opt.segment_solve_seconds")
     decisions = np.zeros(n, dtype=bool)
     solved_requests = 0
-    for (start, core_end, span), core in zip(spans, cores):
+    for (start, core_end, span), (core, seconds) in zip(spans, solved):
+        segment_hist.observe(seconds)
         decisions[start:core_end] = core
         solved_requests += span
     return SegmentedOptResult(

@@ -8,6 +8,7 @@ from typing import Callable
 import numpy as np
 
 from ..cache import CachePolicy
+from ..obs import get_registry
 from ..trace import Trace
 
 __all__ = ["SimResult", "simulate", "record_free_bytes"]
@@ -36,6 +37,11 @@ class SimResult:
             (``n_retrains``, ``n_skipped_retrains``, ``n_failed_retrains``,
             ``last_training_seconds``, ``training_pending`` — see
             :class:`repro.core.LFOOnline`), or None for static policies.
+        metrics: snapshot of the active :mod:`repro.obs` registry taken when
+            the simulation finished (counters, histograms, span aggregates),
+            or None when observability is disabled.  Note the registry is
+            process-wide: back-to-back simulations under one registry see
+            cumulative values.
     """
 
     policy: str
@@ -50,6 +56,33 @@ class SimResult:
     series: np.ndarray = field(default_factory=lambda: np.array([]))
     series_window: int = 0
     training: dict[str, float | int | bool] | None = None
+    metrics: dict | None = None
+
+    def to_dict(self, include_hits: bool = False) -> dict:
+        """JSON-safe view of the result (ndarrays become lists / summaries).
+
+        The per-request ``hits`` vector is summarised to ``n_hits`` unless
+        ``include_hits`` asks for the full boolean list; the windowed
+        ``series`` is always included (it is already bounded).
+        """
+        out = {
+            "policy": self.policy,
+            "n_requests": self.n_requests,
+            "n_hits": int(self.hits.sum()),
+            "bhr": float(self.bhr),
+            "ohr": float(self.ohr),
+            "chr": float(self.chr),
+            "bhr_full": float(self.bhr_full),
+            "ohr_full": float(self.ohr_full),
+            "warmup": int(self.warmup),
+            "series": [float(v) for v in self.series],
+            "series_window": int(self.series_window),
+            "training": dict(self.training) if self.training else None,
+            "metrics": self.metrics,
+        }
+        if include_hits:
+            out["hits"] = [bool(h) for h in self.hits]
+        return out
 
 
 def simulate(
@@ -73,12 +106,17 @@ def simulate(
     n = len(trace)
     if n == 0:
         raise ValueError("cannot simulate an empty trace")
+    registry = get_registry()
+    # Duck-typed: TieredLFOCache and other composite policies do not extend
+    # CachePolicy and may lack the eviction counter.
+    evictions_before = getattr(policy, "n_evictions", 0)
     hits = np.zeros(n, dtype=bool)
-    for i, request in enumerate(trace):
-        hit = policy.on_request(request)
-        hits[i] = hit
-        if on_request is not None:
-            on_request(i, hit)
+    with registry.span("sim.request_loop"):
+        for i, request in enumerate(trace):
+            hit = policy.on_request(request)
+            hits[i] = hit
+            if on_request is not None:
+                on_request(i, hit)
 
     sizes = trace.sizes
     costs = trace.costs
@@ -111,6 +149,30 @@ def simulate(
     if training is not None:
         training = dict(training)  # snapshot: the policy keeps mutating
 
+    metrics = None
+    if registry.enabled:
+        # Counters are folded in after the loop from the vectorised hit
+        # flags — identical totals to per-request increments, zero cost on
+        # the request path.
+        n_hits = int(hits.sum())
+        hit_bytes = int(sizes[hits].sum())
+        total_bytes = int(sizes.sum())
+        registry.counter("sim.requests").inc(n)
+        registry.counter("sim.hits").inc(n_hits)
+        registry.counter("sim.misses").inc(n - n_hits)
+        registry.counter("sim.hit_bytes").inc(hit_bytes)
+        registry.counter("sim.miss_bytes").inc(total_bytes - hit_bytes)
+        registry.counter("sim.evictions").inc(
+            getattr(policy, "n_evictions", 0) - evictions_before
+        )
+        registry.gauge("sim.cache_used_bytes").set(
+            getattr(policy, "used_bytes", 0)
+        )
+        registry.gauge("sim.cache_objects").set(
+            getattr(policy, "n_objects", 0)
+        )
+        metrics = registry.to_dict()
+
     return SimResult(
         policy=policy.name,
         n_requests=n,
@@ -124,6 +186,7 @@ def simulate(
         series=series,
         series_window=series_window,
         training=training,
+        metrics=metrics,
     )
 
 

@@ -1,5 +1,7 @@
 """Tests for the ``lfo`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -85,6 +87,57 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "BHR" in out
         assert "retrains" in out
+
+
+class TestMetricsOut:
+    def test_simulate_writes_snapshot(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "m.json"
+        assert main([
+            "simulate", trace_file, "--cache-fraction", "10",
+            "--window", "1000", "--segment", "500",
+            "--metrics-out", str(out_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "BHR" in captured.out
+        assert "metrics written" in captured.err  # diagnostics on stderr
+        document = json.loads(out_path.read_text())
+        counters = document["metrics"]["counters"]
+        assert counters["sim.requests"] == 2000
+        assert counters["sim.hits"] + counters["sim.misses"] == 2000
+        spans = document["metrics"]["spans"]
+        for name in (
+            "online.window_close",
+            "online.label_solve",
+            "online.gbdt_fit",
+            "online.model_install",
+        ):
+            assert spans[name]["count"] >= 1, name
+        assert document["result"]["policy"] == "LFO-online"
+        assert document["result"]["n_requests"] == 2000
+
+    def test_compare_writes_per_policy_results(
+        self, trace_file, tmp_path, capsys
+    ):
+        out_path = tmp_path / "m.json"
+        assert main([
+            "compare", trace_file, "--policies", "LRU,GDSF",
+            "--cache-fraction", "10", "--metrics-out", str(out_path),
+        ]) == 0
+        assert "LRU" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert set(document["result"]) == {"LRU", "GDSF"}
+        assert document["metrics"]["counters"]["sim.requests"] == 4000
+        for row in document["result"].values():
+            assert row["metrics"] is None  # only the top-level snapshot
+
+    def test_diagnostics_stay_off_stdout(self, trace_file, capsys):
+        assert main([
+            "compare", trace_file, "--policies", "LRU",
+            "--cache-fraction", "10",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "comparing" in captured.err
+        assert "comparing" not in captured.out
 
 
 class TestHrc:
