@@ -15,6 +15,7 @@ from __future__ import annotations
 import io
 from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
 from repro.obs import MetricsRegistry, use_registry
 from repro.trace import (
@@ -83,7 +84,7 @@ def report(name: str, text: str) -> None:
 
 
 @contextmanager
-def observed(ring_size: int = 256):
+def observed(ring_size: int = 256) -> Iterator[MetricsRegistry]:
     """Install a fresh :class:`repro.obs.MetricsRegistry` for the block.
 
     Benchmarks that want per-stage breakdowns wrap the measured run::
@@ -99,7 +100,7 @@ def observed(ring_size: int = 256):
         yield registry
 
 
-def stage_table(registry) -> str:
+def stage_table(registry: MetricsRegistry) -> str:
     """Render a registry's span aggregates as a per-stage breakdown table."""
     spans = registry.to_dict()["spans"]
     rows = [

@@ -1,0 +1,42 @@
+"""Static analysis for the repo's own invariants (``lfo lint``).
+
+The production claims this codebase makes — deterministic relabeling,
+lock-free request path, bounded-cardinality observability — are invariants
+of the *source*, so they are enforced by an AST-level checker rather than
+review comments.  The framework is self-contained (stdlib ``ast`` only):
+
+* :class:`Rule` — visitor-based plugin API; each rule owns a stable
+  ``rule_id`` used by ``--select`` and suppressions;
+* :func:`run_analysis` — walk a tree, run the (selected) suite, return an
+  :class:`AnalysisReport`;
+* :func:`check_source` — run the suite over one source string (tests);
+* :func:`render_text` / :func:`render_json` — reporters;
+* ``# lint: ignore[rule-id]`` anywhere in a file suppresses that rule for
+  the whole file (always pair it with a justification comment).
+
+The built-in suite lives in :mod:`repro.analysis.rules`; see
+``docs/architecture.md`` ("Static analysis & invariants") for the rule
+catalogue.
+"""
+
+from __future__ import annotations
+
+from .base import FileContext, Rule, Violation
+from .engine import AnalysisReport, check_source, iter_python_files, run_analysis
+from .report import render_json, render_text
+from .rules import ALL_RULES, all_rules, rule_ids
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "check_source",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "run_analysis",
+]

@@ -1,0 +1,165 @@
+"""Core types of the static-analysis framework: violations, file context,
+and the visitor-based :class:`Rule` plugin API.
+
+A rule is an :class:`ast.NodeVisitor` subclass with a stable ``rule_id``.
+The engine instantiates each selected rule once per run (so cross-file
+rules can accumulate state), feeds it every in-scope file via
+:meth:`Rule.check`, and finally calls :meth:`Rule.finish` for whole-tree
+invariants such as metric-name uniqueness.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["FileContext", "Rule", "Violation"]
+
+#: ``# lint: ignore[rule-a, rule-b]`` — file-wide suppression marker.
+SUPPRESSION_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9_,\s-]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where it is, which invariant it breaks, and why."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict[str, str | int]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule_id}] {self.message}"
+
+
+@dataclass
+class FileContext:
+    """One parsed source file as rules see it.
+
+    ``module`` is the dotted module name derived from the path
+    (``src/repro/sim/runner.py`` -> ``repro.sim.runner``;
+    ``benchmarks/common.py`` -> ``benchmarks.common``), which is what rule
+    scoping matches against.
+    """
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    suppressed: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def from_source(
+        cls, source: str, *, path: str = "<string>", module: str = "module"
+    ) -> FileContext:
+        """Parse ``source`` into a context (also the test-fixture entry point)."""
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            suppressed=parse_suppressions(source),
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when :attr:`module` is any of ``prefixes`` or inside one."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+
+def parse_suppressions(source: str) -> frozenset[str]:
+    """Rule ids suppressed file-wide via ``# lint: ignore[rule-id, ...]``."""
+    ids: set[str] = set()
+    for match in SUPPRESSION_RE.finditer(source):
+        ids.update(part.strip() for part in match.group(1).split(",") if part.strip())
+    return frozenset(ids)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for all analysis rules.
+
+    Subclasses set ``rule_id`` (stable, kebab-case, what ``--select`` and
+    suppressions match) and ``summary`` (one line for reports), override
+    ``visit_*`` methods, and call :meth:`report` on findings.  Override
+    :meth:`applies_to` to scope a rule to particular modules and
+    :meth:`finish` for cross-file invariants.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def __init__(self) -> None:
+        self._violations: list[Violation] = []
+        self._ctx: FileContext | None = None
+
+    # -- engine entry points -------------------------------------------------
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule inspects ``ctx`` at all (default: every file)."""
+        return True
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        """Visit one file's AST; returns the violations found in it."""
+        self._ctx = ctx
+        self._violations = []
+        try:
+            self.visit(ctx.tree)
+        finally:
+            self._ctx = None
+        return self._violations
+
+    def finish(self) -> list[Violation]:
+        """Cross-file findings, emitted once after every file was checked."""
+        return []
+
+    # -- helpers for subclasses ----------------------------------------------
+
+    @property
+    def ctx(self) -> FileContext:
+        assert self._ctx is not None, "report() outside check()"
+        return self._ctx
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a violation anchored at ``node`` in the current file."""
+        self._violations.append(
+            Violation(
+                rule_id=self.rule_id,
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute/name chains; '' for anything dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def references_name(node: ast.AST, name: str) -> bool:
+    """True when any ``Name`` node inside ``node`` loads ``name``."""
+    return any(
+        isinstance(child, ast.Name) and child.id == name
+        for child in ast.walk(node)
+    )

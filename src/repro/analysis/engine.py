@@ -1,0 +1,161 @@
+"""The analysis engine: file discovery, rule dispatch, suppression.
+
+:func:`run_analysis` walks a set of files/directories, parses each Python
+file once, hands the AST to every selected rule that claims the module,
+and returns an :class:`AnalysisReport`.  Module names are derived from
+paths (``src/repro/...`` loses the ``src/`` prefix) so rule scoping works
+on dotted names regardless of where the tree is checked out.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .base import FileContext, Rule, Violation
+from .rules import all_rules
+
+__all__ = ["AnalysisReport", "check_source", "iter_python_files", "run_analysis"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".venv", "venv", "build", "dist", ".mypy_cache",
+     ".ruff_cache", ".pytest_cache", "node_modules"}
+)
+
+#: Default roots checked when the CLI is given no paths, relative to cwd.
+DEFAULT_ROOTS = ("src", "benchmarks", "examples")
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced, ready for a reporter."""
+
+    violations: list[Violation]
+    files_checked: int
+    rule_ids: list[str]
+    parse_errors: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return counts
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through directly)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+
+
+def module_name_for(path: Path, root: Path | None = None) -> str:
+    """Dotted module name for ``path`` (``src/`` layout aware)."""
+    resolved = path.resolve()
+    base = (root or Path.cwd()).resolve()
+    try:
+        relative = resolved.relative_to(base)
+    except ValueError:
+        relative = Path(resolved.name)
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or resolved.stem
+
+
+def run_analysis(
+    paths: Sequence[str | Path] | None = None,
+    *,
+    select: list[str] | None = None,
+    root: str | Path | None = None,
+) -> AnalysisReport:
+    """Run the (selected) rule suite over ``paths``.
+
+    ``paths`` defaults to the ``src``/``benchmarks``/``examples`` roots
+    that exist under ``root`` (itself defaulting to the current working
+    directory).  Violations are sorted by location; per-file suppressions
+    (``# lint: ignore[rule-id]``) are already applied.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    if paths is None:
+        paths = [base / name for name in DEFAULT_ROOTS if (base / name).is_dir()]
+    rules = all_rules(select)
+    violations: list[Violation] = []
+    parse_errors: list[Violation] = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        source = path.read_text(encoding="utf-8")
+        display = _display_path(path, base)
+        try:
+            ctx = FileContext.from_source(
+                source, path=display, module=module_name_for(path, base)
+            )
+        except SyntaxError as exc:
+            parse_errors.append(
+                Violation(
+                    rule_id="parse-error",
+                    path=display,
+                    line=exc.lineno or 0,
+                    col=(exc.offset or 0),
+                    message=f"could not parse file: {exc.msg}",
+                )
+            )
+            continue
+        violations.extend(_check_file(ctx, rules))
+    for rule in rules:
+        violations.extend(rule.finish())
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return AnalysisReport(
+        violations=violations,
+        files_checked=files_checked,
+        rule_ids=[rule.rule_id for rule in rules],
+        parse_errors=parse_errors,
+    )
+
+
+def check_source(
+    source: str,
+    *,
+    module: str = "module",
+    path: str = "<string>",
+    select: list[str] | None = None,
+) -> list[Violation]:
+    """Run rules over one source string (the test-fixture entry point)."""
+    ctx = FileContext.from_source(source, path=path, module=module)
+    rules = all_rules(select)
+    violations = _check_file(ctx, rules)
+    for rule in rules:
+        violations.extend(rule.finish())
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations
+
+
+def _check_file(ctx: FileContext, rules: list[Rule]) -> list[Violation]:
+    found: list[Violation] = []
+    for rule in rules:
+        if rule.rule_id in ctx.suppressed or not rule.applies_to(ctx):
+            continue
+        found.extend(rule.check(ctx))
+    return found
+
+
+def _display_path(path: Path, base: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(base.resolve()))
+    except ValueError:
+        return str(path)

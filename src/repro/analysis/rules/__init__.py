@@ -1,0 +1,50 @@
+"""The built-in rule suite.
+
+Adding a rule is three steps: subclass :class:`repro.analysis.Rule` in one
+of the modules here (or a new one), give it a stable ``rule_id``, and list
+the class in :data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+from ..base import Rule
+from .api import PublicApiAnnotationRule
+from .concurrency import ExecutorSharedStateRule, RequestPathLockRule
+from .determinism import DeterminismRngRule, DeterminismWallClockRule
+from .obs import ObsLiteralNameRule, ObsNameStyleRule, ObsNameUniqueRule
+from .robustness import BroadExceptRule, FloatEqualityRule, MutableDefaultRule
+
+__all__ = ["ALL_RULES", "all_rules", "rule_ids"]
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    DeterminismRngRule,
+    DeterminismWallClockRule,
+    ExecutorSharedStateRule,
+    RequestPathLockRule,
+    ObsLiteralNameRule,
+    ObsNameStyleRule,
+    ObsNameUniqueRule,
+    BroadExceptRule,
+    MutableDefaultRule,
+    FloatEqualityRule,
+    PublicApiAnnotationRule,
+)
+
+
+def all_rules(select: list[str] | None = None) -> list[Rule]:
+    """Fresh instances of every rule, optionally narrowed to ``select`` ids."""
+    if select is not None:
+        known = {cls.rule_id for cls in ALL_RULES}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return [cls() for cls in ALL_RULES if cls.rule_id in select]
+    return [cls() for cls in ALL_RULES]
+
+
+def rule_ids() -> list[str]:
+    """Stable ids of every built-in rule."""
+    return [cls.rule_id for cls in ALL_RULES]

@@ -1,0 +1,84 @@
+"""Public-API surface rules.
+
+Everything re-exported through ``repro/__init__`` is the contract other
+code programs against; those modules carry full type annotations so mypy
+has something to check and callers have something to read.  The analysis
+package holds itself to the same bar.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import FileContext, Rule
+
+__all__ = ["PublicApiAnnotationRule"]
+
+#: Packages re-exported by ``repro/__init__`` (plus the linter itself).
+PUBLIC_API_SCOPES = (
+    "repro.core",
+    "repro.obs",
+    "repro.opt",
+    "repro.sim",
+    "repro.trace",
+    "repro.analysis",
+)
+
+
+class PublicApiAnnotationRule(Rule):
+    """Public functions in API modules must be fully annotated."""
+
+    rule_id = "api-annotations"
+    summary = (
+        "public functions and methods in repro.__init__-exported packages "
+        "must annotate every parameter and the return type"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*PUBLIC_API_SCOPES)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(child, owner=None)
+            elif isinstance(child, ast.ClassDef) and not child.name.startswith(
+                "_"
+            ):
+                for item in child.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self._check_function(item, owner=child.name)
+        # Deliberately no generic_visit: nested/local functions are
+        # implementation detail, not API surface.
+
+    def _check_function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        owner: str | None,
+    ) -> None:
+        name = node.name
+        if name.startswith("_") and name != "__init__":
+            return
+        qualname = f"{owner}.{name}" if owner else name
+        args = node.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        if owner is not None and params and params[0].arg in ("self", "cls"):
+            params = params[1:]
+        missing = [p.arg for p in params if p.annotation is None]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if missing:
+            self.report(
+                node,
+                f"public function `{qualname}` is missing parameter "
+                f"annotations: {', '.join(missing)}",
+            )
+        if node.returns is None:
+            self.report(
+                node,
+                f"public function `{qualname}` is missing a return "
+                "annotation",
+            )

@@ -1,0 +1,127 @@
+"""Concurrency rules.
+
+Background retraining (PR 1) put a trainer thread and a process pool next
+to the request path.  The safe pattern the codebase standardised on is
+*snapshot + atomic swap*: a window boundary snapshots plain data, submits a
+module-level pure function of that data to the executor, and the request
+thread later installs the result with a single attribute assignment.  These
+rules reject the two ways that pattern usually erodes: worker callables
+that share ``self`` with the request thread, and lock acquisitions on the
+request path itself.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Rule, dotted_name
+
+__all__ = ["ExecutorSharedStateRule", "RequestPathLockRule"]
+
+
+class ExecutorSharedStateRule(Rule):
+    """Work submitted to an executor must not capture ``self``."""
+
+    rule_id = "conc-submit-shared"
+    summary = (
+        "callables handed to Executor.submit must be module-level functions "
+        "of snapshotted arguments — a bound method, lambda, or partial that "
+        "captures `self` mutates request-path state from the trainer thread; "
+        "publish results back via an atomic attribute swap on the consuming "
+        "thread instead"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and node.args
+        ):
+            self._check_submitted(node.args[0])
+            for arg in list(node.args[1:]) + [kw.value for kw in node.keywords]:
+                if self._mentions_self(arg):
+                    self.report(
+                        arg,
+                        "argument to Executor.submit passes `self` (or a "
+                        "view of it) into the worker; snapshot plain data "
+                        "instead",
+                    )
+        self.generic_visit(node)
+
+    def _check_submitted(self, fn: ast.AST) -> None:
+        if isinstance(fn, ast.Attribute) and self._mentions_self(fn):
+            self.report(
+                fn,
+                f"submitting bound method `{dotted_name(fn)}` shares `self` "
+                "between the request thread and the worker; submit a "
+                "module-level function of snapshotted data and install the "
+                "result via an atomic swap",
+            )
+        elif isinstance(fn, ast.Lambda) and self._mentions_self(fn):
+            self.report(
+                fn,
+                "submitting a lambda that closes over `self` shares mutable "
+                "state with the worker; submit a module-level function of "
+                "snapshotted data",
+            )
+        elif (
+            isinstance(fn, ast.Call)
+            and dotted_name(fn.func).rsplit(".", 1)[-1] == "partial"
+            and any(self._mentions_self(a) for a in fn.args)
+        ):
+            self.report(
+                fn,
+                "partial() over `self` still shares mutable state with the "
+                "worker; submit a module-level function of snapshotted data",
+            )
+
+    @staticmethod
+    def _mentions_self(node: ast.AST) -> bool:
+        return any(
+            isinstance(child, ast.Name) and child.id == "self"
+            for child in ast.walk(node)
+        )
+
+
+class RequestPathLockRule(Rule):
+    """No lock acquisition inside ``on_request``."""
+
+    rule_id = "conc-lock-request-path"
+    summary = (
+        "on_request is the per-request hot path: no lock may be acquired in "
+        "it (no `with <lock>:`, no .acquire()); cross-thread hand-over "
+        "belongs in atomic reference swaps, locks belong at window/stage "
+        "granularity"
+    )
+
+    _LOCKY = ("lock", "mutex", "semaphore", "condition")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name == "on_request":
+            for child in ast.walk(node):
+                if isinstance(child, ast.With):
+                    for item in child.items:
+                        if self._looks_like_lock(item.context_expr):
+                            self.report(
+                                item.context_expr,
+                                "lock acquired on the request path "
+                                f"(`with {dotted_name(item.context_expr)}`); "
+                                "swap a reference atomically instead",
+                            )
+                elif (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "acquire"
+                ):
+                    self.report(
+                        child,
+                        "lock acquired on the request path (.acquire()); "
+                        "swap a reference atomically instead",
+                    )
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _looks_like_lock(self, expr: ast.AST) -> bool:
+        name = dotted_name(expr).lower()
+        return any(marker in name for marker in self._LOCKY)

@@ -1,0 +1,206 @@
+"""Observability hygiene rules.
+
+The metrics registry keys instruments by name at call sites spread across
+the tree, so two classes of mistakes are cheap to make and expensive to
+debug: dynamic names (an f-string interpolating an object id turns one
+counter into a million — the classic cardinality bomb) and one name used
+as two different instrument kinds in different files.  Names are therefore
+required to be literal, dotted snake_case, and kind-unique repo-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..base import FileContext, Rule, Violation, dotted_name
+
+__all__ = ["ObsLiteralNameRule", "ObsNameStyleRule", "ObsNameUniqueRule"]
+
+#: Instrument/span factory methods on registries and tracers.
+_FACTORY_ATTRS = frozenset({"counter", "gauge", "histogram", "span"})
+
+#: Dotted snake_case: ``online.skipped_retrains``, ``sim.hits`` ...
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+
+
+def _receiver_is_registry(func: ast.Attribute) -> bool:
+    """Heuristic: the call target reads like a registry/tracer object."""
+    receiver = func.value
+    text = dotted_name(receiver).lower()
+    if "registry" in text or "tracer" in text:
+        return True
+    if isinstance(receiver, ast.Call):
+        return dotted_name(receiver.func).rsplit(".", 1)[-1] in (
+            "get_registry",
+        )
+    return False
+
+
+#: Functions allowed to forward a ``name`` parameter into a factory call:
+#: the registry/tracer wrapper layer itself.
+_FORWARDER_NAMES = _FACTORY_ATTRS | {"traced"}
+
+
+def _iter_factory_calls(
+    tree: ast.Module,
+) -> "Iterator[tuple[str, ast.Call, list[ast.FunctionDef | ast.AsyncFunctionDef]]]":
+    """Yield ``(kind, call, enclosing_functions)`` for every
+    registry.counter/gauge/histogram/span call in ``tree``."""
+
+    def walk(node: ast.AST, stack: list) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _FACTORY_ATTRS
+                and _receiver_is_registry(child.func)
+            ):
+                yield child.func.attr, child, stack
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from walk(child, stack + [child])
+            else:
+                yield from walk(child, stack)
+
+    yield from walk(tree, [])
+
+
+def _is_forwarded_param(name_arg: ast.AST, stack: list) -> bool:
+    """True when the name argument is a parameter the enclosing wrapper
+    (itself named counter/gauge/histogram/span/traced) forwards verbatim —
+    the registry implementation layer, not an instrumentation call site."""
+    if not isinstance(name_arg, ast.Name):
+        return False
+    for fn in stack:
+        if fn.name not in _FORWARDER_NAMES:
+            continue
+        params = fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+        if any(p.arg == name_arg.id for p in params):
+            return True
+    return False
+
+
+class ObsLiteralNameRule(Rule):
+    """Metric/span names must be string literals."""
+
+    rule_id = "obs-literal-name"
+    summary = (
+        "registry.counter/gauge/histogram/span names must be literal "
+        "strings — an f-string or variable name interpolates per-object "
+        "values into the instrument key and explodes cardinality"
+    )
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        self._ctx = ctx
+        self._violations = []
+        for kind, call, stack in _iter_factory_calls(ctx.tree):
+            name_arg = call.args[0] if call.args else None
+            if name_arg is None or _is_forwarded_param(name_arg, stack):
+                continue
+            if isinstance(name_arg, ast.JoinedStr):
+                self.report(
+                    name_arg,
+                    f"f-string {kind} name is a cardinality bomb; use a "
+                    "literal name and put the varying part in the value",
+                )
+            elif not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                self.report(
+                    name_arg,
+                    f"{kind} name must be a literal string, not a computed "
+                    "expression",
+                )
+        self._ctx = None
+        return self._violations
+
+
+class ObsNameStyleRule(Rule):
+    """Literal metric/span names must be dotted snake_case."""
+
+    rule_id = "obs-name-style"
+    summary = (
+        "metric/span names are dotted snake_case "
+        "(`component.metric_name`) so exporters can prefix and group them"
+    )
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        self._ctx = ctx
+        self._violations = []
+        for kind, call, _stack in _iter_factory_calls(ctx.tree):
+            name_arg = call.args[0] if call.args else None
+            if (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+                and not _NAME_RE.match(name_arg.value)
+            ):
+                self.report(
+                    name_arg,
+                    f"{kind} name {name_arg.value!r} is not dotted "
+                    "snake_case (expected e.g. 'online.failed_retrains')",
+                )
+        self._ctx = None
+        return self._violations
+
+
+class ObsNameUniqueRule(Rule):
+    """One instrument name maps to exactly one instrument kind repo-wide."""
+
+    rule_id = "obs-name-unique"
+    summary = (
+        "a metric name registered as two different instrument kinds "
+        "(counter vs gauge vs histogram) aliases state in the registry; "
+        "every name must have a single kind across the tree"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        # name -> {kind -> first (path, line, col)}
+        self._seen: dict[str, dict[str, tuple[str, int, int]]] = {}
+        self._suppressed_files: dict[str, frozenset[str]] = {}
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        self._suppressed_files[ctx.path] = ctx.suppressed
+        for kind, call, _stack in _iter_factory_calls(ctx.tree):
+            if kind == "span":  # spans live in their own namespace
+                continue
+            name_arg = call.args[0] if call.args else None
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                kinds = self._seen.setdefault(name_arg.value, {})
+                kinds.setdefault(
+                    kind,
+                    (ctx.path, name_arg.lineno, name_arg.col_offset + 1),
+                )
+        return []
+
+    def finish(self) -> list[Violation]:
+        violations = []
+        for name, kinds in sorted(self._seen.items()):
+            if len(kinds) < 2:
+                continue
+            sites = ", ".join(
+                f"{kind} at {path}:{line}"
+                for kind, (path, line, _col) in sorted(kinds.items())
+            )
+            for _kind, (path, line, col) in sorted(kinds.items()):
+                if self.rule_id in self._suppressed_files.get(
+                    path, frozenset()
+                ):
+                    continue
+                violations.append(
+                    Violation(
+                        rule_id=self.rule_id,
+                        path=path,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"metric name {name!r} is registered as "
+                            f"multiple instrument kinds ({sites})"
+                        ),
+                    )
+                )
+        return violations

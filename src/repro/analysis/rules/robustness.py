@@ -1,0 +1,145 @@
+"""Robustness rules.
+
+Production caches fail quietly: a swallowed exception drops retraining on
+the floor, a mutable default argument leaks one call's state into the
+next, a float equality in a split comparison flips with the optimisation
+level.  Each rule here turns one of those silent failure modes into a
+build error.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import FileContext, Rule, dotted_name
+
+__all__ = ["BroadExceptRule", "FloatEqualityRule", "MutableDefaultRule"]
+
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+#: Modules where float split/cost comparisons live.
+_FLOAT_EQ_SCOPES = ("repro.gbdt", "repro.flow")
+
+
+class BroadExceptRule(Rule):
+    """Broad exception handlers must log and count, or re-raise."""
+
+    rule_id = "rob-broad-except"
+    summary = (
+        "a bare/`except Exception` handler that neither re-raises nor both "
+        "logs the failure and increments a metrics counter swallows faults "
+        "invisibly; narrow the type, or log + count what you catch"
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._is_broad(node.type) and not self._handled_loudly(node):
+            caught = (
+                dotted_name(node.type) if node.type is not None else "all"
+            )
+            self.report(
+                node,
+                f"broad handler (catches {caught}) must re-raise or both "
+                "log the exception and increment a metrics counter",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST | None) -> bool:
+        if type_node is None:
+            return True
+        names = (
+            [dotted_name(e) for e in type_node.elts]
+            if isinstance(type_node, ast.Tuple)
+            else [dotted_name(type_node)]
+        )
+        return any(n in ("Exception", "BaseException") for n in names)
+
+    @staticmethod
+    def _handled_loudly(handler: ast.ExceptHandler) -> bool:
+        logs = counts = reraises = False
+        for child in ast.walk(handler):
+            if isinstance(child, ast.Raise):
+                reraises = True
+            elif isinstance(child, ast.Call) and isinstance(
+                child.func, ast.Attribute
+            ):
+                receiver = dotted_name(child.func.value).lower()
+                if child.func.attr in _LOG_METHODS and "log" in receiver:
+                    logs = True
+                if child.func.attr == "inc":
+                    counts = True
+        return reraises or (logs and counts)
+
+
+class MutableDefaultRule(Rule):
+    """No mutable default argument values."""
+
+    rule_id = "rob-mutable-default"
+    summary = (
+        "a list/dict/set default argument is shared across calls and "
+        "mutates under the caller's feet; default to None and materialise "
+        "inside the function"
+    )
+
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if self._is_mutable(default):
+                self.report(
+                    default,
+                    f"mutable default argument in `{node.name}()`; use "
+                    "None and build the value inside the function",
+                )
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(
+            node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func).rsplit(".", 1)[-1] in self._MUTABLE_CALLS
+        )
+
+
+class FloatEqualityRule(Rule):
+    """No float-literal equality in split/cost comparisons."""
+
+    rule_id = "rob-float-eq"
+    summary = (
+        "== / != against a float literal in gbdt/flow split or cost "
+        "comparisons flips with rounding; compare with a tolerance or "
+        "restructure around an integer/None sentinel"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*_FLOAT_EQ_SCOPES)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(o, ast.Constant)
+                and isinstance(o.value, float)
+                # Infinities are exact sentinels, not rounding hazards.
+                and o.value == o.value  # not NaN
+                and abs(o.value) != float("inf")
+                for o in operands
+            ):
+                self.report(
+                    node,
+                    "float literal equality comparison; use a tolerance "
+                    "(abs(a - b) < eps) or an exact sentinel",
+                )
+        self.generic_visit(node)

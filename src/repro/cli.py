@@ -202,6 +202,22 @@ def _cmd_hrc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import render_json, render_text, run_analysis
+
+    select = args.select.split(",") if args.select else None
+    try:
+        report = run_analysis(args.paths or None, select=select)
+    except ValueError as exc:  # unknown --select rule id
+        _diag(str(exc))
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     _diag(f"running experiment spec {args.spec}")
@@ -301,6 +317,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_hrc.add_argument("trace")
     p_hrc.add_argument("--points", type=int, default=64)
     p_hrc.set_defaults(func=_cmd_hrc)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="check repo invariants (determinism, concurrency, obs hygiene)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files/dirs to check (default: src, benchmarks, examples)",
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_exp = sub.add_parser(
         "experiment", help="run a declarative experiment spec (JSON)"

@@ -22,6 +22,8 @@ on any feature is conventionally "major shift".
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..trace import Request
@@ -43,7 +45,9 @@ class DriftDetector:
             cache's own fill level changes whenever the policy changes.
     """
 
-    def __init__(self, n_bins: int = 10, features: list[int] | None = None):
+    def __init__(
+        self, n_bins: int = 10, features: list[int] | None = None
+    ) -> None:
         if n_bins < 2:
             raise ValueError("n_bins must be >= 2")
         self.n_bins = n_bins
@@ -116,7 +120,7 @@ class AdaptiveLFOOnline(LFOOnline):
         drift_threshold: float = 0.25,
         check_interval: int = 1_000,
         min_retrain_size: int = 1_000,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(cache_size, window=window, **kwargs)
         if check_interval <= 0:

@@ -25,7 +25,13 @@ from __future__ import annotations
 
 import logging
 import warnings
-from concurrent.futures import CancelledError, Executor, Future, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Executor,
+    Future,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
 
 import numpy as np
@@ -329,12 +335,16 @@ class LFOOnline(LFOCache):
                 self._install_trained_model()
             try:
                 self._pending = self._trainer().submit(_train_window, *args)
-            except Exception as exc:  # broken pool must never break serving
+            except (RuntimeError, BrokenExecutor) as exc:
+                # The two submit-time failures (shut-down executor, broken
+                # pool); neither must ever break serving.
                 self.n_failed_retrains += 1
                 registry.counter("online.failed_retrains").inc()
+                registry.counter("online_trainer_errors").inc()
                 logger.warning(
-                    "could not submit background retrain for window %s; "
-                    "keeping current model", name, exc_info=exc,
+                    "could not submit background retrain for window %s "
+                    "(%s); keeping current model",
+                    name, type(exc).__name__, exc_info=exc,
                 )
                 warnings.warn(
                     f"could not submit background retrain ({exc!r}); "
@@ -353,17 +363,24 @@ class LFOOnline(LFOCache):
             model, elapsed = future.result()
         except CancelledError:
             self.n_failed_retrains += 1
-            get_registry().counter("online.failed_retrains").inc()
+            registry = get_registry()
+            registry.counter("online.failed_retrains").inc()
+            registry.counter("online_trainer_errors").inc()
             logger.warning(
                 "background retrain cancelled; keeping current model"
             )
             return
         except Exception as exc:
+            # Training jobs can raise anything (labeling, fitting, pickling
+            # in process pools); the install path stays broad by design but
+            # is loud: exception class logged, error counter bumped.
             self.n_failed_retrains += 1
-            get_registry().counter("online.failed_retrains").inc()
+            registry = get_registry()
+            registry.counter("online.failed_retrains").inc()
+            registry.counter("online_trainer_errors").inc()
             logger.warning(
-                "background retrain failed; keeping current model",
-                exc_info=exc,
+                "background retrain failed (%s); keeping current model",
+                type(exc).__name__, exc_info=exc,
             )
             warnings.warn(
                 f"background retrain failed ({exc!r}); keeping current model",

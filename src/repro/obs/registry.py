@@ -25,8 +25,12 @@ import threading
 from bisect import bisect_right
 from contextlib import contextmanager
 from functools import wraps
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, TypeVar
 
 from .tracing import NullSpan, Span, Tracer
+
+_F = TypeVar("_F", bound=Callable[..., Any])
 
 __all__ = [
     "Counter",
@@ -87,7 +91,9 @@ class Histogram:
 
     __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "max")
 
-    def __init__(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> None:
+    def __init__(
+        self, name: str, bounds: Iterable[float] = DEFAULT_TIME_BUCKETS
+    ) -> None:
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
         self.name = name
@@ -157,7 +163,7 @@ class MetricsRegistry:
     def __init__(
         self,
         ring_size: int = 256,
-        time_buckets=DEFAULT_TIME_BUCKETS,
+        time_buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
     ) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
@@ -184,7 +190,9 @@ class MetricsRegistry:
                 gauge = self._gauges.setdefault(name, Gauge(name))
         return gauge
 
-    def histogram(self, name: str, bounds=None) -> Histogram:
+    def histogram(
+        self, name: str, bounds: Iterable[float] | None = None
+    ) -> Histogram:
         """Get or create the histogram ``name`` (bounds fixed on creation)."""
         histogram = self._histograms.get(name)
         if histogram is None:
@@ -220,7 +228,7 @@ class MetricsRegistry:
 
         return render_prometheus(self.to_dict(), prefix=prefix)
 
-    def write_jsonl(self, path) -> None:
+    def write_jsonl(self, path: str | Path) -> None:
         """Append the current snapshot as one JSON line to ``path``."""
         from .export import JsonlSink
 
@@ -250,7 +258,9 @@ class NullRegistry:
     def gauge(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name: str, bounds=None) -> _NullInstrument:
+    def histogram(
+        self, name: str, bounds: Iterable[float] | None = None
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def span(self, name: str) -> NullSpan:
@@ -268,7 +278,7 @@ class NullRegistry:
     def to_prometheus(self, prefix: str = "repro") -> str:
         return ""
 
-    def write_jsonl(self, path) -> None:
+    def write_jsonl(self, path: str | Path) -> None:
         pass
 
     def reset(self) -> None:
@@ -296,7 +306,9 @@ def set_registry(
 
 
 @contextmanager
-def use_registry(registry: MetricsRegistry | NullRegistry):
+def use_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> Iterator[MetricsRegistry | NullRegistry]:
     """Scoped :func:`set_registry`: install for the block, then restore."""
     previous = set_registry(registry)
     try:
@@ -305,19 +317,19 @@ def use_registry(registry: MetricsRegistry | NullRegistry):
         set_registry(previous)
 
 
-def traced(name: str):
+def traced(name: str) -> Callable[[_F], _F]:
     """Decorator form of the tracer: time every call as a span ``name``.
 
     The registry is looked up at *call* time, so functions decorated at
     import keep honouring :func:`use_registry` scopes.
     """
 
-    def decorate(fn):
+    def decorate(fn: _F) -> _F:
         @wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             with get_registry().span(name):
                 return fn(*args, **kwargs)
 
-        return wrapper
+        return wrapper  # type: ignore[return-value]
 
     return decorate

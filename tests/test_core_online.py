@@ -307,6 +307,44 @@ class TestBackgroundRetraining:
         assert policy.n_failed_retrains == 1
         assert policy.n_retrains == 1
 
+    def test_failed_training_bumps_error_counters(self, online_trace):
+        """Trainer failures are loud: logged with the exception class and
+        counted on the active registry (`online_trainer_errors`)."""
+        from repro.obs import MetricsRegistry, use_registry
+
+        policy = self._policy(online_trace, ImmediateExecutor())
+        policy.label_config = OptLabelConfig(mode="broken")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with pytest.warns(RuntimeWarning, match="retrain failed"):
+                for request in online_trace[:500]:
+                    policy.on_request(request)
+                policy.on_request(online_trace[500])
+        counters = registry.to_dict()["counters"]
+        assert counters["online_trainer_errors"] == 1
+        assert counters["online.failed_retrains"] == 1
+        assert policy.n_failed_retrains == 1
+
+    def test_broken_submit_bumps_error_counters(self, online_trace):
+        """A shut-down executor fails at submit time; serving continues and
+        the submit-path handler counts the error."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.obs import MetricsRegistry, use_registry
+
+        executor = ThreadPoolExecutor(max_workers=1)
+        executor.shutdown(wait=True)
+        policy = self._policy(online_trace, executor)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with pytest.warns(RuntimeWarning, match="could not submit"):
+                for request in online_trace[:500]:
+                    policy.on_request(request)
+        counters = registry.to_dict()["counters"]
+        assert counters["online_trainer_errors"] == 1
+        assert policy.n_failed_retrains == 1
+        assert policy.model is None  # cold-start model keeps serving
+
     def test_degenerate_window_in_background(self):
         policy = LFOOnline(
             cache_size=1000, window=400, gbdt_params=FAST_PARAMS, n_gaps=5,
