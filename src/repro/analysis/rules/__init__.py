@@ -12,7 +12,12 @@ from .api import PublicApiAnnotationRule
 from .concurrency import ExecutorSharedStateRule, RequestPathLockRule
 from .determinism import DeterminismRngRule, DeterminismWallClockRule
 from .obs import ObsLiteralNameRule, ObsNameStyleRule, ObsNameUniqueRule
-from .robustness import BroadExceptRule, FloatEqualityRule, MutableDefaultRule
+from .robustness import (
+    BroadExceptRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+    SilentDegradeRule,
+)
 
 __all__ = ["ALL_RULES", "all_rules", "rule_ids"]
 
@@ -27,6 +32,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     BroadExceptRule,
     MutableDefaultRule,
     FloatEqualityRule,
+    SilentDegradeRule,
     PublicApiAnnotationRule,
 )
 

@@ -22,6 +22,7 @@ PUBLIC_API_SCOPES = (
     "repro.sim",
     "repro.trace",
     "repro.analysis",
+    "repro.resilience",
 )
 
 

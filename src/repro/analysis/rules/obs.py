@@ -18,8 +18,8 @@ from ..base import FileContext, Rule, Violation, dotted_name
 
 __all__ = ["ObsLiteralNameRule", "ObsNameStyleRule", "ObsNameUniqueRule"]
 
-#: Instrument/span factory methods on registries and tracers.
-_FACTORY_ATTRS = frozenset({"counter", "gauge", "histogram", "span"})
+#: Instrument/span/event factory methods on registries and tracers.
+_FACTORY_ATTRS = frozenset({"counter", "gauge", "histogram", "span", "event"})
 
 #: Dotted snake_case: ``online.skipped_retrains``, ``sim.hits`` ...
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
@@ -164,7 +164,7 @@ class ObsNameUniqueRule(Rule):
     def check(self, ctx: FileContext) -> list[Violation]:
         self._suppressed_files[ctx.path] = ctx.suppressed
         for kind, call, _stack in _iter_factory_calls(ctx.tree):
-            if kind == "span":  # spans live in their own namespace
+            if kind in ("span", "event"):  # spans/events: own namespace
                 continue
             name_arg = call.args[0] if call.args else None
             if isinstance(name_arg, ast.Constant) and isinstance(

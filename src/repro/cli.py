@@ -14,6 +14,10 @@ stays pipeable.  ``--metrics-out PATH`` (on ``simulate``, ``compare`` and
 ``experiment``) installs a :class:`repro.obs.MetricsRegistry` for the run
 and writes its snapshot — request counters, per-stage histograms, and the
 retraining span tree — plus the run's result as one JSON document.
+``simulate`` additionally takes the resilience knobs ``--fault-plan``,
+``--staleness-limit`` and ``--retry-backoff``, and every trace-reading
+subcommand accepts ``--tolerant-trace`` (skip-and-count malformed lines);
+see docs/robustness.md for the operations runbook.
 """
 
 from __future__ import annotations
@@ -21,11 +25,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import nullcontext
 from typing import Sequence
 
 from .core import LFOOnline, OptLabelConfig
 from .obs import MetricsRegistry, get_registry, use_registry
 from .opt import opt_bhr_bounds, solve_segmented
+from .resilience import FaultPlan, use_fault_plan
 from .sim import (
     compare_policies,
     format_table,
@@ -53,10 +59,27 @@ def _diag(message: str) -> None:
     print(message, file=sys.stderr)
 
 
-def _load_trace(path: str) -> Trace:
+def _load_trace(path: str, tolerant: bool = False) -> Trace:
     if path.endswith(".bin"):
         return read_binary_trace(path)
-    return read_text_trace(path)
+    return read_text_trace(path, tolerant=tolerant)
+
+
+def _trace_from_args(args: argparse.Namespace) -> Trace:
+    """Load the positional trace, honouring ``--tolerant-trace``."""
+    return _load_trace(args.trace, tolerant=getattr(args, "tolerant_trace", False))
+
+
+def _fault_plan_scope(args: argparse.Namespace):
+    """A ``use_fault_plan`` context for ``--fault-plan PATH`` (else a no-op)."""
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return nullcontext(None)
+    plan = FaultPlan.from_json(path)
+    _diag(
+        f"fault plan {path}: {len(plan.faults)} spec(s), seed {plan.seed}"
+    )
+    return use_fault_plan(plan)
 
 
 def _make_registry(args: argparse.Namespace):
@@ -106,7 +129,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
+    trace = _trace_from_args(args)
     stats = compute_stats(trace)
     for key, value in stats.as_dict().items():
         if isinstance(value, float):
@@ -117,7 +140,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_opt(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
+    trace = _trace_from_args(args)
     cache_size = _resolve_cache(args, trace)
     _diag(f"solving {len(trace)} requests, cache {cache_size} bytes")
     result = solve_segmented(trace, cache_size, args.segment)
@@ -134,7 +157,7 @@ def _cmd_opt(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
+    trace = _trace_from_args(args)
     cache_size = _resolve_cache(args, trace)
     subset = args.policies.split(",") if args.policies else None
     _diag(
@@ -159,28 +182,37 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
-    cache_size = _resolve_cache(args, trace)
-    _diag(
-        f"simulating online LFO over {len(trace)} requests, "
-        f"cache {cache_size} bytes, window {args.window}"
-    )
-    lfo = LFOOnline(
-        cache_size,
-        window=args.window,
-        cutoff=args.cutoff,
-        label_config=OptLabelConfig(
-            mode=args.label_mode, segment_length=args.segment
-        ),
-    )
     registry = _make_registry(args)
-    with use_registry(registry):
+    # Trace loading happens inside both scopes so a --fault-plan with
+    # trace.read_line faults corrupts lines and --tolerant-trace skips land
+    # on the run's registry.
+    with use_registry(registry), _fault_plan_scope(args):
+        trace = _trace_from_args(args)
+        cache_size = _resolve_cache(args, trace)
+        _diag(
+            f"simulating online LFO over {len(trace)} requests, "
+            f"cache {cache_size} bytes, window {args.window}"
+        )
+        lfo = LFOOnline(
+            cache_size,
+            window=args.window,
+            cutoff=args.cutoff,
+            label_config=OptLabelConfig(
+                mode=args.label_mode, segment_length=args.segment
+            ),
+            staleness_limit=args.staleness_limit,
+            retry_backoff=args.retry_backoff,
+        )
         result = simulate(trace, lfo, warmup_fraction=args.warmup)
     print(f"policy     {result.policy}")
     print(f"requests   {result.n_requests}")
     print(f"retrains   {lfo.n_retrains}")
     print(f"BHR        {result.bhr:.4f}")
     print(f"OHR        {result.ohr:.4f}")
+    if result.resilience:
+        engaged = {k: v for k, v in result.resilience.items() if v}
+        if engaged:
+            _diag(f"resilience: {engaged}")
     if args.metrics_out:
         _write_metrics(args.metrics_out, registry, result.to_dict())
     return 0
@@ -190,7 +222,7 @@ def _cmd_hrc(args: argparse.Namespace) -> int:
     from .sim import lru_hit_ratio_curve
     from .viz import sparkline
 
-    trace = _load_trace(args.trace)
+    trace = _trace_from_args(args)
     curve = lru_hit_ratio_curve(trace, n_points=args.points)
     print("LRU byte hit-ratio curve")
     print(f"sizes  {int(curve.sizes[0])} .. {int(curve.sizes[-1])} bytes")
@@ -268,8 +300,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output path (.bin = binary, else text)")
     p_gen.set_defaults(func=_cmd_generate)
 
-    def add_cache_args(p: argparse.ArgumentParser) -> None:
+    def add_trace_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument("trace", help="trace path (.bin or text)")
+        p.add_argument("--tolerant-trace", action="store_true",
+                       help="skip-and-count malformed text-trace lines "
+                            "(resilience.trace_lines_skipped) instead of "
+                            "aborting on the first one")
+
+    def add_cache_args(p: argparse.ArgumentParser) -> None:
+        add_trace_arg(p)
         p.add_argument("--cache-fraction", type=int, default=10,
                        help="cache = footprint / fraction (default 10)")
         p.add_argument("--cache-mb", type=float,
@@ -283,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "write them (plus the result) as JSON to PATH")
 
     p_stats = sub.add_parser("stats", help="print trace statistics")
-    p_stats.add_argument("trace")
+    add_trace_arg(p_stats)
     p_stats.set_defaults(func=_cmd_stats)
 
     p_opt = sub.add_parser("opt", help="compute OPT decisions and bounds")
@@ -308,13 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--label-mode", default="segmented",
                        choices=("exact", "segmented", "pruned"))
     p_sim.add_argument("--warmup", type=float, default=0.25)
+    p_sim.add_argument("--fault-plan", metavar="PATH", default=None,
+                       help="JSON fault plan (repro.resilience.FaultPlan) "
+                            "installed for the run — deterministic fault "
+                            "injection drills, see docs/robustness.md")
+    p_sim.add_argument("--staleness-limit", type=int, default=None,
+                       help="degrade admission to the LRU fallback after "
+                            "this many windows without a fresh model")
+    p_sim.add_argument("--retry-backoff", type=int, default=0,
+                       help="windows to skip after a training failure "
+                            "(doubles per consecutive failure)")
     add_metrics_out(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_hrc = sub.add_parser(
         "hrc", help="print the trace's LRU hit-ratio curve"
     )
-    p_hrc.add_argument("trace")
+    add_trace_arg(p_hrc)
     p_hrc.add_argument("--points", type=int, default=64)
     p_hrc.set_defaults(func=_cmd_hrc)
 

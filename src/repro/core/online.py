@@ -19,6 +19,27 @@ that training tasks do not interfere with the request traffic":
   training failure never blocks or breaks ``on_request`` — the window is
   dropped (counted in ``n_skipped_retrains``) or the failure recorded
   (``n_failed_retrains``) and serving continues on the current model.
+
+Graceful degradation (the "robust" half of the paper's title; drilled by
+:mod:`repro.resilience` and the ``bench_ext_fault_matrix`` benchmark):
+
+* **watchdog** — ``train_deadline`` bounds how many *requests* a background
+  training job may stay in flight; past it the job is cancelled (or, if
+  already running, abandoned) and counted as a failure.  The deadline is
+  logical time, not wall clock, so drills replay deterministically;
+* **backoff** — ``retry_backoff`` skips a doubling number of windows after
+  consecutive training failures instead of re-failing every boundary;
+* **bounded retries** — ``max_train_failures`` halts retraining entirely
+  after that many consecutive failures (a crash-looping trainer should
+  stop burning CPU); serving continues on the fallback;
+* **staleness guard** — after ``staleness_limit`` windows without a fresh
+  model, admission degrades to the configured heuristic ``fallback``
+  (``"lru"``: admit everything, evict LRU; ``"bypass"``: admit nothing)
+  and recovers on the next successful install.
+
+Every transition is loud: ``resilience.*`` counters/gauges plus span-tree
+events on the active :mod:`repro.obs` registry, and the
+``logging.getLogger("repro.online")`` channel.
 """
 
 from __future__ import annotations
@@ -39,6 +60,7 @@ import numpy as np
 from ..features import Dataset, feature_names
 from ..gbdt import GBDTParams
 from ..obs import get_registry
+from ..resilience.faults import get_fault_plan
 from ..opt import (
     solve_greedy,
     solve_opt,
@@ -54,6 +76,10 @@ __all__ = ["LFOOnline", "OptLabelConfig"]
 #: Production log channel for the retraining loop: dropped windows, failed
 #: or unsubmittable training jobs (with tracebacks via ``exc_info``).
 logger = logging.getLogger("repro.online")
+
+#: Exponential backoff never skips more than this many windows in a row —
+#: past it the trainer keeps probing at a fixed, bounded cadence.
+_MAX_BACKOFF_WINDOWS = 8
 
 
 @dataclass(frozen=True)
@@ -135,7 +161,17 @@ def _train_window(
     ``online.gbdt_fit`` nested under ``online.train_window`` — which also
     aggregate into the active registry (a no-op in process-pool workers,
     whose registry defaults to ``NullRegistry``).
+
+    Fault drills: an installed :class:`repro.resilience.FaultPlan` with an
+    ``online.train_window`` spec crashes or delays the job here, before
+    any real work — exercising the caller's failure handling, watchdog,
+    backoff, and staleness machinery.  (Like the registry, the plan is
+    process-wide state and therefore invisible to process-pool workers;
+    use thread/inline executors for trainer drills.)
     """
+    plan = get_fault_plan()
+    if plan is not None:
+        plan.inject("online.train_window")
     registry = get_registry()
     model: LFOModel | None = None
     with registry.span("online.train_window") as train_span:
@@ -178,7 +214,24 @@ class LFOOnline(LFOCache):
             creates a private single-worker :class:`ThreadPoolExecutor`;
             pass a :class:`~concurrent.futures.ProcessPoolExecutor` to keep
             training off the GIL entirely (all submitted arguments and the
-            returned model pickle cleanly).
+            returned model pickle cleanly), or a
+            :class:`repro.resilience.SimulatedTrainerExecutor` for
+            deterministic fault drills.
+        train_deadline: watchdog, in *requests*: a background job still in
+            flight after this many requests is cancelled (abandoned if
+            already running) and counted as a failure.  None disables it.
+        staleness_limit: after this many closed windows without a fresh
+            model install, admission degrades to ``fallback`` until the
+            next successful install.  None disables the guard.
+        fallback: degraded-mode admission heuristic — ``"lru"`` admits
+            everything and evicts LRU (cold-start behaviour), ``"bypass"``
+            admits nothing (serves the resident set read-only).
+        retry_backoff: after a training failure, skip this many windows
+            before trying again, doubling per consecutive failure (capped
+            at 8 windows).  0 retries at the very next boundary.
+        max_train_failures: halt retraining for good after this many
+            consecutive failures (None = never halt); serving continues,
+            degraded by the staleness guard if enabled.
 
     Counters (also bundled by :attr:`training_stats` and surfaced in
     :class:`repro.sim.SimResult`):
@@ -188,6 +241,15 @@ class LFOOnline(LFOCache):
     * ``n_failed_retrains`` — training jobs that raised (model kept);
     * ``last_training_seconds`` — duration of the latest label+fit job;
     * ``training_pending`` — True while a background job is in flight.
+
+    Degradation counters (bundled by :attr:`resilience_stats`, surfaced as
+    ``SimResult.resilience``, and mirrored as ``resilience.*`` metrics):
+
+    * ``n_watchdog_cancels`` — jobs cancelled/abandoned past the deadline;
+    * ``n_backoff_skips`` — windows skipped while backing off;
+    * ``n_staleness_fallbacks`` / ``n_staleness_recoveries`` — fallback
+      engagements and the recoveries that ended them;
+    * ``degraded`` / ``training_halted`` — the current mode flags.
     """
 
     name = "LFO-online"
@@ -205,6 +267,11 @@ class LFOOnline(LFOCache):
         rescore_interval: int = 0,
         background: bool = False,
         executor: Executor | None = None,
+        train_deadline: int | None = None,
+        staleness_limit: int | None = None,
+        fallback: str = "lru",
+        retry_backoff: int = 0,
+        max_train_failures: int | None = None,
     ) -> None:
         super().__init__(
             cache_size, model=None, n_gaps=n_gaps,
@@ -212,22 +279,50 @@ class LFOOnline(LFOCache):
         )
         if window <= 0:
             raise ValueError("window must be positive")
+        if train_deadline is not None and train_deadline <= 0:
+            raise ValueError("train_deadline must be positive (in requests)")
+        if staleness_limit is not None and staleness_limit <= 0:
+            raise ValueError("staleness_limit must be positive (in windows)")
+        if fallback not in ("lru", "bypass"):
+            raise ValueError(
+                f"unknown fallback {fallback!r}; expected 'lru' or 'bypass'"
+            )
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if max_train_failures is not None and max_train_failures <= 0:
+            raise ValueError("max_train_failures must be positive")
         self.window = window
         self.gbdt_params = gbdt_params or GBDTParams()
         self.cutoff = cutoff
         self.label_config = label_config or OptLabelConfig()
         self.min_positive_labels = min_positive_labels
         self.background = background
+        self.train_deadline = train_deadline
+        self.staleness_limit = staleness_limit
+        self.fallback = fallback
+        self.retry_backoff = retry_backoff
+        self.max_train_failures = max_train_failures
         self.n_retrains = 0
         self.n_skipped_retrains = 0
         self.n_failed_retrains = 0
+        self.n_watchdog_cancels = 0
+        self.n_backoff_skips = 0
+        self.n_staleness_fallbacks = 0
+        self.n_staleness_recoveries = 0
         self.last_training_seconds = 0.0
         self._buffer_requests: list[Request] = []
         self._buffer_features: list[np.ndarray] = []
         self._executor = executor
         self._owns_executor = False
         self._pending: Future | None = None
+        self._pending_submitted_at = 0
+        self._requests_observed = 0  # logical clock for the watchdog
         self._windows_closed = 0
+        self._windows_since_model = 0
+        self._consecutive_failures = 0
+        self._backoff_remaining = 0
+        self._degraded = False
+        self._halted = False
 
     # -- training status -----------------------------------------------------
 
@@ -247,21 +342,54 @@ class LFOOnline(LFOCache):
             "training_pending": self.training_pending,
         }
 
+    @property
+    def degraded(self) -> bool:
+        """True while admission runs on the heuristic ``fallback``."""
+        return self._degraded
+
+    @property
+    def training_halted(self) -> bool:
+        """True once ``max_train_failures`` consecutive failures hit."""
+        return self._halted
+
+    @property
+    def resilience_stats(self) -> dict[str, float | int | bool]:
+        """Degradation counters/flags as one dict (``SimResult.resilience``)."""
+        return {
+            "n_watchdog_cancels": self.n_watchdog_cancels,
+            "n_backoff_skips": self.n_backoff_skips,
+            "n_staleness_fallbacks": self.n_staleness_fallbacks,
+            "n_staleness_recoveries": self.n_staleness_recoveries,
+            "consecutive_failures": self._consecutive_failures,
+            "windows_since_model": self._windows_since_model,
+            "degraded": self._degraded,
+            "training_halted": self._halted,
+        }
+
     def finish_training(self, timeout: float | None = None) -> bool:
         """Wait for an in-flight training job and install its model.
 
         Useful at end-of-trace (the final window's model would otherwise
         only land on the next request) and in tests.  Returns True when a
-        pending job was drained within ``timeout`` seconds.
+        pending job was drained (completed, failed, or cancelled — the
+        installer sorts them out) within ``timeout`` seconds; False when
+        nothing was pending or the job is still running at the deadline
+        (it stays pending and can be drained later).
         """
         if self._pending is None:
             return False
         try:
             self._pending.exception(timeout)  # waits; doesn't raise job errors
         except TimeoutError:
+            logger.debug(
+                "finish_training timed out after %s s; job still pending",
+                timeout,
+            )
             return False
         except CancelledError:
-            pass
+            logger.debug(
+                "finish_training found a cancelled job; handing to installer"
+            )
         self._install_trained_model()
         return True
 
@@ -281,10 +409,16 @@ class LFOOnline(LFOCache):
         In background mode this never solves labels or fits a model
         inline: a completed trainer result is installed (an O(1) model
         pointer swap), the request is served, and a window boundary only
-        snapshots buffers and enqueues the training job.
+        snapshots buffers and enqueues the training job.  An in-flight job
+        past its ``train_deadline`` (counted in requests) is cancelled by
+        the watchdog here — two integer compares on the hot path.
         """
-        if self._pending is not None and self._pending.done():
-            self._install_trained_model()
+        self._requests_observed += 1
+        if self._pending is not None:
+            if self._pending.done():
+                self._install_trained_model()
+            elif self._watchdog_expired():
+                self._watchdog_cancel()
         hit = super().on_request(request)
         # ``last_features`` was computed inside LFOCache.on_request with the
         # live free-bytes observation — exactly what training must see.
@@ -299,59 +433,221 @@ class LFOOnline(LFOCache):
     def _retrain(self) -> None:
         registry = get_registry()
         with registry.span("online.window_close"):
-            requests = self._buffer_requests
-            self._buffer_requests = []
-            features = np.vstack(self._buffer_features)
-            self._buffer_features = []
-            name = f"W[{self._windows_closed}]"
-            self._windows_closed += 1
-            args = (
-                requests, features, self.label_config, self.cache_size,
-                self.gbdt_params, self.cutoff, self.min_positive_labels,
-                self._tracker.n_gaps, name,
+            self._close_window(registry)
+            self._check_staleness(registry)
+
+    def _close_window(self, registry) -> None:
+        """Snapshot the closed window and train on it (inline or submitted)."""
+        requests = self._buffer_requests
+        self._buffer_requests = []
+        features = np.vstack(self._buffer_features)
+        self._buffer_features = []
+        name = f"W[{self._windows_closed}]"
+        self._windows_closed += 1
+        self._windows_since_model += 1
+        args = (
+            requests, features, self.label_config, self.cache_size,
+            self.gbdt_params, self.cutoff, self.min_positive_labels,
+            self._tracker.n_gaps, name,
+        )
+
+        if self._halted:
+            registry.counter("resilience.halted_window_drops").inc()
+            logger.info(
+                "training halted after %d consecutive failures; "
+                "dropping window %s",
+                self._consecutive_failures, name,
             )
+            return
 
-            if not self.background:
-                model, elapsed = _train_window(*args)
-                self.last_training_seconds = elapsed
-                if model is not None:
-                    with registry.span("online.model_install"):
-                        self.set_model(model)
-                    self.n_retrains += 1
-                return
+        if self._backoff_remaining > 0:
+            self._backoff_remaining -= 1
+            self.n_backoff_skips += 1
+            registry.counter("resilience.backoff_skips").inc()
+            registry.event("resilience.backoff_skip")
+            logger.info(
+                "retrain backoff: dropping window %s "
+                "(%d more window(s) to skip)",
+                name, self._backoff_remaining,
+            )
+            return
 
-            if self._pending is not None:
-                if not self._pending.done():
-                    # Trainer still busy: drop this window, keep serving on
-                    # the current model rather than queueing unbounded work.
-                    self.n_skipped_retrains += 1
-                    registry.counter("online.skipped_retrains").inc()
-                    logger.info(
-                        "trainer busy; dropping window %s (%d requests, "
-                        "%d windows dropped so far)",
-                        name, len(requests), self.n_skipped_retrains,
-                    )
-                    return
-                self._install_trained_model()
+        if not self.background:
             try:
-                self._pending = self._trainer().submit(_train_window, *args)
-            except (RuntimeError, BrokenExecutor) as exc:
-                # The two submit-time failures (shut-down executor, broken
-                # pool); neither must ever break serving.
+                model, elapsed = _train_window(*args)
+            except Exception as exc:
+                # Inline training failures are absorbed exactly like
+                # background ones: the window is lost, the current model
+                # keeps serving, and the failure is loud.
                 self.n_failed_retrains += 1
                 registry.counter("online.failed_retrains").inc()
                 registry.counter("online_trainer_errors").inc()
                 logger.warning(
-                    "could not submit background retrain for window %s "
-                    "(%s); keeping current model",
+                    "inline retrain for window %s failed (%s); "
+                    "keeping current model",
                     name, type(exc).__name__, exc_info=exc,
                 )
                 warnings.warn(
-                    f"could not submit background retrain ({exc!r}); "
-                    "keeping current model",
+                    f"retrain failed ({exc!r}); keeping current model",
                     RuntimeWarning,
-                    stacklevel=2,
+                    stacklevel=4,
                 )
+                self._note_training_failure(registry)
+                return
+            self.last_training_seconds = elapsed
+            if model is not None:
+                with registry.span("online.model_install"):
+                    self.set_model(model)
+                self.n_retrains += 1
+                self._note_training_success(registry)
+            return
+
+        if self._pending is not None:
+            if not self._pending.done():
+                # Trainer still busy: drop this window, keep serving on
+                # the current model rather than queueing unbounded work.
+                self.n_skipped_retrains += 1
+                registry.counter("online.skipped_retrains").inc()
+                logger.info(
+                    "trainer busy; dropping window %s (%d requests, "
+                    "%d windows dropped so far)",
+                    name, len(requests), self.n_skipped_retrains,
+                )
+                return
+            self._install_trained_model()
+        try:
+            self._pending = self._trainer().submit(_train_window, *args)
+            self._pending_submitted_at = self._requests_observed
+        except (RuntimeError, BrokenExecutor) as exc:
+            # The two submit-time failures (shut-down executor, broken
+            # pool); neither must ever break serving.
+            self.n_failed_retrains += 1
+            registry.counter("online.failed_retrains").inc()
+            registry.counter("online_trainer_errors").inc()
+            logger.warning(
+                "could not submit background retrain for window %s "
+                "(%s); keeping current model",
+                name, type(exc).__name__, exc_info=exc,
+            )
+            warnings.warn(
+                f"could not submit background retrain ({exc!r}); "
+                "keeping current model",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._note_training_failure(registry)
+
+    # -- graceful degradation ------------------------------------------------
+
+    def _watchdog_expired(self) -> bool:
+        return (
+            self.train_deadline is not None
+            and self._requests_observed - self._pending_submitted_at
+            >= self.train_deadline
+        )
+
+    def _watchdog_cancel(self) -> None:
+        """Abandon a training job that outlived its request-count deadline."""
+        future = self._pending
+        self._pending = None
+        cancelled = future.cancel() if future is not None else False
+        self.n_watchdog_cancels += 1
+        registry = get_registry()
+        registry.counter("resilience.watchdog_cancels").inc()
+        registry.event("resilience.watchdog_cancel")
+        logger.warning(
+            "background retrain exceeded its deadline (%s requests); %s; "
+            "keeping current model",
+            self.train_deadline,
+            "job cancelled" if cancelled else "job abandoned (already running)",
+        )
+        self._note_training_failure(registry)
+
+    def _note_training_failure(self, registry) -> None:
+        """Advance the consecutive-failure state machine: halt or back off."""
+        self._consecutive_failures += 1
+        if (
+            self.max_train_failures is not None
+            and self._consecutive_failures >= self.max_train_failures
+        ):
+            if not self._halted:
+                self._halted = True
+                registry.counter("resilience.training_halts").inc()
+                registry.gauge("resilience.training_halted").set(1.0)
+                registry.event("resilience.training_halt")
+                logger.error(
+                    "halting retraining after %d consecutive failures; "
+                    "serving continues without fresh models",
+                    self._consecutive_failures,
+                )
+            return
+        if self.retry_backoff > 0:
+            backoff = min(
+                self.retry_backoff * 2 ** (self._consecutive_failures - 1),
+                _MAX_BACKOFF_WINDOWS,
+            )
+            self._backoff_remaining = backoff
+            registry.gauge("resilience.backoff_windows").set(float(backoff))
+            logger.info(
+                "retrain backoff set to %d window(s) after %d consecutive "
+                "failure(s)",
+                backoff, self._consecutive_failures,
+            )
+
+    def _note_training_success(self, registry) -> None:
+        """A fresh model landed: clear failure state, leave degraded mode."""
+        self._consecutive_failures = 0
+        self._backoff_remaining = 0
+        self._windows_since_model = 0
+        registry.gauge("resilience.backoff_windows").set(0.0)
+        if self._degraded:
+            self._degraded = False
+            self.n_staleness_recoveries += 1
+            registry.counter("resilience.staleness_recoveries").inc()
+            registry.gauge("resilience.staleness_fallback_active").set(0.0)
+            registry.event("resilience.staleness_recovery")
+            logger.info(
+                "fresh model installed; leaving %s fallback mode",
+                self.fallback,
+            )
+
+    def _check_staleness(self, registry) -> None:
+        """Degrade admission once the model has missed too many windows.
+
+        Only a *trained* model can go stale: cold start (no model yet) is
+        already the admit-all LRU mode the "lru" fallback would pick.
+        """
+        if (
+            self.staleness_limit is None
+            or self._degraded
+            or self.model is None
+            or self._windows_since_model < self.staleness_limit
+        ):
+            return
+        self._degraded = True
+        self.n_staleness_fallbacks += 1
+        registry.counter("resilience.staleness_fallbacks").inc()
+        registry.gauge("resilience.staleness_fallback_active").set(1.0)
+        registry.event("resilience.staleness_fallback")
+        logger.warning(
+            "model stale for %d window(s) without a successful retrain; "
+            "degrading admission to %s fallback",
+            self._windows_since_model, self.fallback,
+        )
+
+    # -- degraded-mode serving -----------------------------------------------
+
+    def _should_admit(self, score: float) -> bool:
+        if self._degraded:
+            # The stale model's scores are no longer trusted: "lru" admits
+            # everything (cold-start behaviour), "bypass" admits nothing.
+            return self.fallback == "lru"
+        return super()._should_admit(score)
+
+    def _select_victim(self, incoming: Request) -> int | None:
+        if self._degraded and self.fallback == "lru":
+            return next(iter(self._lru), None)
+        return super()._select_victim(incoming)
 
     def _install_trained_model(self) -> None:
         """Consume a finished training future; atomic model swap on success."""
@@ -369,6 +665,7 @@ class LFOOnline(LFOCache):
             logger.warning(
                 "background retrain cancelled; keeping current model"
             )
+            self._note_training_failure(registry)
             return
         except Exception as exc:
             # Training jobs can raise anything (labeling, fitting, pickling
@@ -387,12 +684,15 @@ class LFOOnline(LFOCache):
                 RuntimeWarning,
                 stacklevel=2,
             )
+            self._note_training_failure(registry)
             return
         self.last_training_seconds = elapsed
         if model is not None:
-            with get_registry().span("online.model_install"):
+            registry = get_registry()
+            with registry.span("online.model_install"):
                 self.set_model(model)
             self.n_retrains += 1
+            self._note_training_success(registry)
 
     def _trainer(self) -> Executor:
         if self._executor is None:
@@ -410,5 +710,17 @@ class LFOOnline(LFOCache):
         self.n_retrains = 0
         self.n_skipped_retrains = 0
         self.n_failed_retrains = 0
+        self.n_watchdog_cancels = 0
+        self.n_backoff_skips = 0
+        self.n_staleness_fallbacks = 0
+        self.n_staleness_recoveries = 0
         self.last_training_seconds = 0.0
+        self._pending = None
+        self._pending_submitted_at = 0
+        self._requests_observed = 0
         self._windows_closed = 0
+        self._windows_since_model = 0
+        self._consecutive_failures = 0
+        self._backoff_remaining = 0
+        self._degraded = False
+        self._halted = False

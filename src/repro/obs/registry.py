@@ -206,6 +206,10 @@ class MetricsRegistry:
         """Open a nested wall-time span (``with registry.span("stage"):``)."""
         return self.tracer.span(name)
 
+    def event(self, name: str) -> None:
+        """Record an instantaneous span-tree marker (see ``Tracer.event``)."""
+        self.tracer.event(name)
+
     # -- export --------------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -265,6 +269,9 @@ class NullRegistry:
 
     def span(self, name: str) -> NullSpan:
         return NullSpan(name)
+
+    def event(self, name: str) -> None:
+        pass
 
     def to_dict(self) -> dict:
         return {

@@ -126,6 +126,19 @@ class Tracer:
         """Open a new span (use as ``with tracer.span("stage"):``)."""
         return Span(self, name)
 
+    def event(self, name: str) -> None:
+        """Record an instantaneous marker: a zero-duration span at the
+        current nesting position.
+
+        Degradation decisions (a watchdog firing, a staleness fallback
+        engaging) have no meaningful duration but belong in the span tree,
+        so an incident's ring buffer shows *where in the retrain chain*
+        they happened.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        self.record(name, parent, perf_counter(), 0.0)
+
     def record(
         self, name: str, parent: str | None, start: float, elapsed: float
     ) -> None:

@@ -10,22 +10,38 @@ multi-core box.
 
 Because every segment is solved by the *same* :func:`repro.opt.mincost.solve_opt`
 on the *same* sub-trace and reassembled in trace order, the returned labels
-are bit-identical to the serial path; only wall-clock time changes.  When a
-pool cannot be created (sandboxed containers without working semaphores,
-restricted fork) the solve silently degrades to the serial path rather than
-failing the retrain.
+are bit-identical to the serial path; only wall-clock time changes.
+
+Degradation ladder (each rung is counted and logged, never silent):
+
+1. a failed segment solve is retried in the pool up to
+   ``max_segment_retries`` times (``resilience.segment_retries``);
+2. a segment that keeps failing — or any failure after the pool broke —
+   is solved serially in the parent process
+   (``resilience.segment_serial_fallbacks``), preserving bit-identical
+   labels;
+3. when no pool can be created at all (sandboxed containers without
+   working semaphores, restricted fork) the whole solve degrades to the
+   serial path (``resilience.pool_fallbacks``).
+
+Deterministic drills: an installed :class:`repro.resilience.FaultPlan`
+with ``opt.segment_solve`` crash specs fails chosen segments for a chosen
+number of attempts (the fail flag travels in the payload, so workers never
+need the plan).
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from time import perf_counter
 
 import numpy as np
 
 from ..obs import get_registry
+from ..resilience.faults import InjectedFaultError, get_fault_plan
 from ..trace import Request, Trace
 from .mincost import solve_opt
 from .segmentation import (
@@ -36,20 +52,26 @@ from .segmentation import (
 
 __all__ = ["solve_segmented_parallel"]
 
+logger = logging.getLogger("repro.opt")
 
-def _solve_segment(
-    payload: tuple[list[Request], int, int]
-) -> tuple[np.ndarray, float]:
+#: ``(segment requests incl. lookahead, cache_size, core length, fail flag)``
+_Payload = tuple[list[Request], int, int, bool]
+
+
+def _solve_segment(payload: _Payload) -> tuple[np.ndarray, float]:
     """Worker: solve one segment, return its core (non-lookahead) labels
     plus the solve's wall-clock seconds.
 
-    Module-level so it pickles for process pools; the payload is
-    ``(segment requests incl. lookahead, cache_size, core length)``.  The
-    duration is measured here (the parent's registry is unreachable from a
-    worker process) and folded into the parent's per-segment histogram on
-    return.
+    Module-level so it pickles for process pools.  The duration is
+    measured here (the parent's registry is unreachable from a worker
+    process) and folded into the parent's per-segment histogram on return.
+    The trailing fail flag carries fault injection across the process
+    boundary: workers have no fault plan, so the parent decides per
+    attempt whether this solve crashes.
     """
-    requests, cache_size, core_length = payload
+    requests, cache_size, core_length, fail = payload
+    if fail:
+        raise InjectedFaultError("opt.segment_solve")
     started = perf_counter()
     result = solve_opt(Trace(requests), cache_size)
     return result.decisions[:core_length], perf_counter() - started
@@ -61,6 +83,7 @@ def solve_segmented_parallel(
     segment_length: int,
     lookahead: int | None = None,
     n_jobs: int | None = None,
+    max_segment_retries: int = 1,
 ) -> SegmentedOptResult:
     """Time-axis OPT approximation with segments solved in parallel.
 
@@ -73,6 +96,9 @@ def solve_segmented_parallel(
             :func:`repro.opt.segmentation.solve_segmented`).
         n_jobs: worker processes.  ``None`` uses ``os.cpu_count()``; ``1``
             (or a single-segment window) falls through to the serial solve.
+        max_segment_retries: in-pool retries per failing segment before it
+            is solved serially in the parent (see the module docstring's
+            degradation ladder).
 
     Returns:
         A :class:`SegmentedOptResult` bit-identical to the serial path.
@@ -87,6 +113,8 @@ def solve_segmented_parallel(
         n_jobs = os.cpu_count() or 1
     if n_jobs < 1:
         raise ValueError("n_jobs must be positive (or None for cpu_count)")
+    if max_segment_retries < 0:
+        raise ValueError("max_segment_retries must be non-negative")
 
     n = len(trace)
     payloads: list[tuple[list[Request], int, int]] = []
@@ -103,15 +131,27 @@ def solve_segmented_parallel(
         )
 
     registry = get_registry()
+    plan = get_fault_plan()
+    # Consecutive failing attempts the plan injects per segment (all zeros
+    # without a plan); decided up front so retries know when to stop failing.
+    injected = [
+        plan.segment_failures(i) if plan is not None else 0
+        for i in range(len(payloads))
+    ]
+
     try:
         with registry.span("opt.pool_setup"):
             pool = ProcessPoolExecutor(max_workers=min(n_jobs, len(payloads)))
-        with pool, registry.span("opt.parallel_solve"):
-            solved = list(pool.map(_solve_segment, payloads))
     except (OSError, PermissionError, ImportError) as exc:
         # No usable multiprocessing primitives in this environment (e.g. a
         # sandbox without /dev/shm): degrade to the serial solve, which
         # returns the identical labels.
+        registry.counter("resilience.pool_fallbacks").inc()
+        logger.warning(
+            "process pool unavailable (%s); "
+            "falling back to serial segmented solve",
+            type(exc).__name__, exc_info=exc,
+        )
         warnings.warn(
             f"process pool unavailable ({exc!r}); "
             "falling back to serial segmented solve",
@@ -121,6 +161,66 @@ def solve_segmented_parallel(
         return solve_segmented(
             trace, cache_size, segment_length, lookahead=lookahead
         )
+
+    solved: list[tuple[np.ndarray, float]] = []
+    pool_broken = False
+    with pool, registry.span("opt.parallel_solve"):
+        futures: list[Future] = [
+            pool.submit(_solve_segment, (*p, injected[i] > 0))
+            for i, p in enumerate(payloads)
+        ]
+        for index, payload in enumerate(payloads):
+            future: Future | None = futures[index]
+            failures = 0
+            result: tuple[np.ndarray, float] | None = None
+            while result is None:
+                if future is not None:
+                    try:
+                        result = future.result()
+                        break
+                    except Exception as exc:
+                        # Anything a worker can raise — injected crashes,
+                        # genuine solver bugs, or a dead worker process
+                        # (BrokenExecutor, which poisons every later
+                        # future).  Each failure is counted and logged;
+                        # recovery is retry-then-serial below.
+                        failures += 1
+                        if isinstance(exc, BrokenExecutor):
+                            pool_broken = True
+                        registry.counter(
+                            "resilience.segment_solve_failures"
+                        ).inc()
+                        logger.warning(
+                            "segment %d solve failed (%s), attempt %d",
+                            index, type(exc).__name__, failures,
+                        )
+                future = None
+                if not pool_broken and failures <= max_segment_retries:
+                    try:
+                        future = pool.submit(
+                            _solve_segment,
+                            (*payload, injected[index] > failures),
+                        )
+                        registry.counter("resilience.segment_retries").inc()
+                    except BrokenExecutor:
+                        pool_broken = True
+                        logger.warning(
+                            "process pool broke while resubmitting "
+                            "segment %d; switching to serial solves",
+                            index,
+                        )
+                if future is None:
+                    registry.counter(
+                        "resilience.segment_serial_fallbacks"
+                    ).inc()
+                    registry.event("resilience.segment_serial_fallback")
+                    logger.warning(
+                        "segment %d: solving serially in-process after "
+                        "%d failed pool attempt(s)",
+                        index, failures,
+                    )
+                    result = _solve_segment((*payload, False))
+            solved.append(result)
 
     segment_hist = registry.histogram("opt.segment_solve_seconds")
     decisions = np.zeros(n, dtype=bool)

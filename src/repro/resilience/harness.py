@@ -1,0 +1,94 @@
+"""Deterministic trainer harness for fault drills and benchmarks.
+
+``LFOOnline(background=True)`` normally trains on a worker thread, whose
+scheduling makes *which window installs when* nondeterministic.  The fault
+matrix benchmark needs the opposite: identical behaviour on every run.
+:class:`SimulatedTrainerExecutor` provides it — submissions run inline
+(synchronously, on the caller's thread) unless the active
+:class:`~repro.resilience.FaultPlan` says the trainer hangs, in which case
+the returned future simply never resolves.  To ``LFOOnline`` that is
+indistinguishable from a deadlocked trainer, which is exactly what the
+watchdog exists to catch.
+
+The ``except BaseException`` handlers below mirror the stdlib executor
+contract — every outcome, including KeyboardInterrupt, is captured into
+the future for the consumer to re-raise — so they are not swallowed
+faults.  # lint: ignore[rob-broad-except]
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, Future
+from typing import Any, Callable
+
+from .faults import get_fault_plan
+
+__all__ = ["SimulatedTrainerExecutor"]
+
+
+class SimulatedTrainerExecutor(Executor):
+    """Inline, plan-aware stand-in for the background trainer.
+
+    * No fault plan (or no matching spec): ``submit`` runs the callable
+      immediately and returns an already-resolved future, so background
+      mode behaves exactly like serial mode — deterministically.
+    * A ``trainer.submit`` spec of kind ``"hang"``: the call is parked and
+      the returned future stays pending forever.  ``Future.cancel()``
+      succeeds (the job never starts), which is the path ``LFOOnline``'s
+      watchdog takes.  :meth:`release_hung` later runs any still-wanted
+      parked jobs, modelling a trainer that eventually comes back.
+    """
+
+    def __init__(self) -> None:
+        self._hung: list[
+            tuple[Future, Callable[..., Any], tuple, dict]
+        ] = []
+
+    def submit(
+        self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any
+    ) -> Future:
+        """Run ``fn`` inline — or park it when the plan hangs the trainer."""
+        future: Future = Future()
+        plan = get_fault_plan()
+        spec = plan.should_fire("trainer.submit") if plan is not None else None
+        if spec is not None and spec.kind == "hang":
+            self._hung.append((future, fn, args, kwargs))
+            return future
+        if not future.set_running_or_notify_cancel():
+            return future
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+    @property
+    def n_hung(self) -> int:
+        """Parked submissions still pending (cancelled ones included)."""
+        return len(self._hung)
+
+    def release_hung(self) -> int:
+        """Run every parked job whose future was not cancelled meanwhile.
+
+        Returns the number of jobs actually executed — a watchdog-cancelled
+        future is dropped silently, exactly like a thread pool discarding a
+        cancelled work item.
+        """
+        released = 0
+        while self._hung:
+            future, fn, args, kwargs = self._hung.pop(0)
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:
+                future.set_exception(exc)
+            released += 1
+        return released
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        """Drop parked jobs; inline jobs have already completed."""
+        if cancel_futures:
+            for future, _fn, _args, _kwargs in self._hung:
+                future.cancel()
+        self._hung.clear()

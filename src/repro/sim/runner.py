@@ -42,6 +42,11 @@ class SimResult:
             or None when observability is disabled.  Note the registry is
             process-wide: back-to-back simulations under one registry see
             cumulative values.
+        resilience: degradation counters for policies that expose
+            ``resilience_stats`` (``n_watchdog_cancels``,
+            ``n_backoff_skips``, ``n_staleness_fallbacks``,
+            ``n_staleness_recoveries``, ``degraded``, ``training_halted``
+            — see :class:`repro.core.LFOOnline`), or None otherwise.
     """
 
     policy: str
@@ -57,6 +62,7 @@ class SimResult:
     series_window: int = 0
     training: dict[str, float | int | bool] | None = None
     metrics: dict | None = None
+    resilience: dict[str, float | int | bool] | None = None
 
     def to_dict(self, include_hits: bool = False) -> dict:
         """JSON-safe view of the result (ndarrays become lists / summaries).
@@ -79,6 +85,7 @@ class SimResult:
             "series_window": int(self.series_window),
             "training": dict(self.training) if self.training else None,
             "metrics": self.metrics,
+            "resilience": dict(self.resilience) if self.resilience else None,
         }
         if include_hits:
             out["hits"] = [bool(h) for h in self.hits]
@@ -148,6 +155,9 @@ def simulate(
     training = getattr(policy, "training_stats", None)
     if training is not None:
         training = dict(training)  # snapshot: the policy keeps mutating
+    resilience = getattr(policy, "resilience_stats", None)
+    if resilience is not None:
+        resilience = dict(resilience)
 
     metrics = None
     if registry.enabled:
@@ -187,6 +197,7 @@ def simulate(
         series_window=series_window,
         training=training,
         metrics=metrics,
+        resilience=resilience,
     )
 
 

@@ -9,13 +9,18 @@ fast round-trips of large synthetic traces.
 from __future__ import annotations
 
 import io
+import logging
 import struct
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Union
 
 import numpy as np
 
+from ..obs import get_registry
+from ..resilience.faults import get_fault_plan
 from .record import Request, Trace
+
+logger = logging.getLogger("repro.trace")
 
 __all__ = [
     "read_text_trace",
@@ -37,36 +42,95 @@ def _open(path_or_file: PathOrIO, mode: str) -> tuple[IO, bool]:
     return path_or_file, False
 
 
-def iter_text_requests(path_or_file: PathOrIO) -> Iterator[Request]:
+def _describe(path_or_file: PathOrIO) -> str:
+    """The source name error messages and skip logs refer to."""
+    if isinstance(path_or_file, (str, Path)):
+        return str(path_or_file)
+    return str(getattr(path_or_file, "name", "<stream>"))
+
+
+def _parse_line(line: str) -> Request:
+    """Parse one data line; raises ``ValueError`` on any malformation."""
+    parts = line.replace(",", " ").split()
+    if len(parts) not in (3, 4):
+        raise ValueError(f"expected 3 or 4 fields, got {len(parts)}")
+    try:
+        time = float(parts[0])
+        obj = int(parts[1])
+        size = int(parts[2])
+        cost = float(parts[3]) if len(parts) == 4 else -1.0
+    except ValueError:
+        raise ValueError("non-numeric field") from None
+    return Request(time, obj, size, cost)
+
+
+def iter_text_requests(
+    path_or_file: PathOrIO, tolerant: bool = False
+) -> Iterator[Request]:
     """Stream requests from a text trace without materialising it.
 
     Lines starting with ``#`` and blank lines are skipped.  Fields may be
-    separated by commas or arbitrary whitespace.
+    separated by commas or arbitrary whitespace: a 3-field line is
+    ``time obj size``, a 4-field line appends an explicit per-request
+    retrieval cost.  An omitted cost is read as the ``-1.0`` sentinel,
+    which :class:`repro.trace.Request` resolves to ``cost = size`` on
+    construction (the byte-hit-ratio objective).
+
+    Strict vs tolerant: by default (``tolerant=False``) the first
+    malformed line aborts the stream with a :class:`ValueError` naming the
+    source, the line number, and the offending content (truncated).  With
+    ``tolerant=True`` malformed lines are skipped instead: each skip bumps
+    the ``resilience.trace_lines_skipped`` counter on the active
+    :mod:`repro.obs` registry and is logged (the first at WARNING, the
+    rest at DEBUG), and parsing continues with the next line.
+
+    An installed :class:`repro.resilience.FaultPlan` with a
+    ``trace.read_line`` fault corrupts matching data lines before parsing
+    — the deterministic way to drill the tolerant path.
     """
+    source = _describe(path_or_file)
     handle, should_close = _open(path_or_file, "r")
+    plan = get_fault_plan()
+    registry = get_registry()
+    skipped = 0
     try:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            parts = line.replace(",", " ").split()
-            if len(parts) not in (3, 4):
-                raise ValueError(
-                    f"line {lineno}: expected 3 or 4 fields, got {len(parts)}"
+            if plan is not None:
+                line = plan.corrupt_line(line)
+            try:
+                yield _parse_line(line)
+            except ValueError as exc:
+                if not tolerant:
+                    raise ValueError(
+                        f"{source}: line {lineno}: {exc} "
+                        f"(offending line: {line[:80]!r})"
+                    ) from None
+                skipped += 1
+                registry.counter("resilience.trace_lines_skipped").inc()
+                log = logger.warning if skipped == 1 else logger.debug
+                log(
+                    "%s: line %d skipped in tolerant mode (%s): %r",
+                    source, lineno, exc, line[:80],
                 )
-            time = float(parts[0])
-            obj = int(parts[1])
-            size = int(parts[2])
-            cost = float(parts[3]) if len(parts) == 4 else -1.0
-            yield Request(time, obj, size, cost)
     finally:
         if should_close:
             handle.close()
 
 
-def read_text_trace(path_or_file: PathOrIO, name: str = "trace") -> Trace:
-    """Read a whole text trace into memory."""
-    return Trace(list(iter_text_requests(path_or_file)), name=name)
+def read_text_trace(
+    path_or_file: PathOrIO, name: str = "trace", tolerant: bool = False
+) -> Trace:
+    """Read a whole text trace into memory.
+
+    ``tolerant`` forwards to :func:`iter_text_requests`: skip-and-count
+    malformed lines instead of raising on the first one.
+    """
+    return Trace(
+        list(iter_text_requests(path_or_file, tolerant=tolerant)), name=name
+    )
 
 
 def write_text_trace(
@@ -108,21 +172,32 @@ def write_binary_trace(trace: Trace, path_or_file: PathOrIO) -> None:
 
 
 def read_binary_trace(path_or_file: PathOrIO, name: str = "trace") -> Trace:
-    """Read a trace written by :func:`write_binary_trace`."""
+    """Read a trace written by :func:`write_binary_trace`.
+
+    All format errors raise :class:`ValueError` naming the source file, so
+    an operator can tell *which* trace of a batch is bad.
+    """
+    source = _describe(path_or_file)
     handle, should_close = _open(path_or_file, "rb")
     try:
         magic = handle.read(len(_MAGIC))
         if magic != _MAGIC:
-            raise ValueError("not an LFO binary trace (bad magic)")
-        version, count = struct.unpack("<IQ", handle.read(12))
+            raise ValueError(f"{source}: not an LFO binary trace (bad magic)")
+        header = handle.read(12)
+        if len(header) != 12:
+            raise ValueError(f"{source}: truncated binary trace header")
+        version, count = struct.unpack("<IQ", header)
         if version != _VERSION:
-            raise ValueError(f"unsupported trace version {version}")
+            raise ValueError(f"{source}: unsupported trace version {version}")
         times = np.frombuffer(handle.read(8 * count), dtype="<f8")
         objs = np.frombuffer(handle.read(8 * count), dtype="<i8")
         sizes = np.frombuffer(handle.read(8 * count), dtype="<i8")
         costs = np.frombuffer(handle.read(8 * count), dtype="<f8")
         if len(costs) != count:
-            raise ValueError("truncated binary trace")
+            raise ValueError(
+                f"{source}: truncated binary trace "
+                f"(expected {count} requests, read {len(costs)} cost entries)"
+            )
         requests = [
             Request(float(t), int(o), int(s), float(c))
             for t, o, s, c in zip(times, objs, sizes, costs)

@@ -413,6 +413,180 @@ class BroadExceptRuleTest(unittest.TestCase):
         )
 
 
+class SilentDegradeRuleTest(unittest.TestCase):
+    def test_bad_silent_narrow_handler(self) -> None:
+        # Unlike rob-broad-except, even a *narrow* handler in core/opt/
+        # trace must be observable.
+        self.assertIn(
+            "rob-silent-degrade",
+            violations(
+                """
+                def f():
+                    try:
+                        work()
+                    except KeyError:
+                        pass
+                """,
+                module="repro.core.fake",
+            ),
+        )
+
+    def test_bad_silent_fallback_branch(self) -> None:
+        self.assertIn(
+            "rob-silent-degrade",
+            violations(
+                """
+                def read(line, tolerant):
+                    if tolerant:
+                        return None
+                    return parse(line)
+                """,
+                module="repro.trace.fake",
+            ),
+        )
+
+    def test_bad_silent_flag_flip(self) -> None:
+        self.assertIn(
+            "rob-silent-degrade",
+            violations(
+                """
+                def solve(pool):
+                    pool_broken = True
+                    return pool_broken
+                """,
+                module="repro.opt.fake",
+            ),
+        )
+
+    def test_good_handler_logs(self) -> None:
+        self.assertEqual(
+            [],
+            violations(
+                """
+                def f(logger):
+                    try:
+                        work()
+                    except KeyError:
+                        logger.debug("key missing; using default")
+                """,
+                module="repro.core.fake",
+                select=["rob-silent-degrade"],
+            ),
+        )
+
+    def test_good_handler_counts(self) -> None:
+        self.assertEqual(
+            [],
+            violations(
+                """
+                def f(registry):
+                    try:
+                        work()
+                    except KeyError:
+                        registry.counter("resilience.key_misses").inc()
+                """,
+                module="repro.core.fake",
+                select=["rob-silent-degrade"],
+            ),
+        )
+
+    def test_good_handler_reraises(self) -> None:
+        self.assertEqual(
+            [],
+            violations(
+                """
+                def f():
+                    try:
+                        work()
+                    except KeyError:
+                        raise ValueError("bad key") from None
+                """,
+                module="repro.trace.fake",
+                select=["rob-silent-degrade"],
+            ),
+        )
+
+    def test_good_fallback_branch_with_event(self) -> None:
+        self.assertEqual(
+            [],
+            violations(
+                """
+                def read(line, tolerant, registry):
+                    if tolerant:
+                        registry.counter("resilience.skips").inc()
+                        return None
+                    return parse(line)
+                """,
+                module="repro.trace.fake",
+                select=["rob-silent-degrade"],
+            ),
+        )
+
+    def test_good_flag_flip_in_loud_function(self) -> None:
+        self.assertEqual(
+            [],
+            violations(
+                """
+                def solve(pool, logger):
+                    pool_broken = True
+                    logger.warning("pool broke; going serial")
+                    return pool_broken
+                """,
+                module="repro.opt.fake",
+                select=["rob-silent-degrade"],
+            ),
+        )
+
+    def test_attribute_flag_tests_are_exempt(self) -> None:
+        # `self._degraded` guards the per-request hot path; the flip site
+        # is counted instead, so the attribute test itself stays quiet.
+        self.assertEqual(
+            [],
+            violations(
+                """
+                class Cache:
+                    def should_admit(self, score):
+                        if self._degraded:
+                            return True
+                        return score > 0.5
+                """,
+                module="repro.core.fake",
+                select=["rob-silent-degrade"],
+            ),
+        )
+
+    def test_exception_class_names_are_not_flags(self) -> None:
+        self.assertEqual(
+            [],
+            violations(
+                """
+                def f(exc):
+                    if isinstance(exc, BrokenExecutor):
+                        return None
+                    return exc
+                """,
+                module="repro.opt.fake",
+                select=["rob-silent-degrade"],
+            ),
+        )
+
+    def test_out_of_scope_module_ignored(self) -> None:
+        self.assertEqual(
+            [],
+            violations(
+                """
+                def f():
+                    try:
+                        work()
+                    except KeyError:
+                        pass
+                """,
+                module="repro.sim.fake",
+                select=["rob-silent-degrade"],
+            ),
+        )
+
+
 class MutableDefaultRuleTest(unittest.TestCase):
     def test_bad_list_default(self) -> None:
         self.assertIn(

@@ -140,6 +140,71 @@ class TestMetricsOut:
         assert "comparing" not in captured.out
 
 
+class TestTolerantTrace:
+    @pytest.fixture()
+    def dirty_trace(self, tmp_path):
+        path = tmp_path / "dirty.txt"
+        lines = ["# time obj size"]
+        lines += [f"{i} {i % 50} 10" for i in range(500)]
+        lines.insert(100, "GARBAGE LINE")
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_strict_read_aborts(self, dirty_trace):
+        with pytest.raises(ValueError, match="GARBAGE"):
+            main(["stats", dirty_trace])
+
+    def test_tolerant_flag_skips_and_counts(self, dirty_trace, capsys):
+        assert main(["stats", dirty_trace, "--tolerant-trace"]) == 0
+        out = capsys.readouterr().out
+        assert "n_requests" in out
+
+    def test_tolerant_works_on_simulate(self, dirty_trace, capsys):
+        assert main([
+            "simulate", dirty_trace, "--tolerant-trace",
+            "--cache-bytes", "200", "--window", "200", "--segment", "100",
+        ]) == 0
+        assert "BHR" in capsys.readouterr().out
+
+
+class TestFaultPlanFlag:
+    def test_simulate_under_fault_plan(self, trace_file, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "seed": 0,
+            "faults": [
+                {"site": "online.train_window", "kind": "crash", "at": [0]}
+            ],
+        }))
+        metrics_path = tmp_path / "m.json"
+        with pytest.warns(RuntimeWarning, match="retrain failed"):
+            code = main([
+                "simulate", trace_file, "--cache-fraction", "10",
+                "--window", "500", "--segment", "250",
+                "--fault-plan", str(plan_path),
+                "--retry-backoff", "1",
+                "--metrics-out", str(metrics_path),
+            ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "fault plan" in captured.err
+        assert "resilience:" in captured.err
+        document = json.loads(metrics_path.read_text())
+        counters = document["metrics"]["counters"]
+        assert counters["online.failed_retrains"] >= 1
+        assert counters["resilience.backoff_skips"] >= 1
+        resilience = document["result"]["resilience"]
+        assert resilience["n_backoff_skips"] >= 1
+
+    def test_staleness_limit_flag_accepted(self, trace_file, capsys):
+        assert main([
+            "simulate", trace_file, "--cache-fraction", "10",
+            "--window", "1000", "--segment", "500",
+            "--staleness-limit", "3",
+        ]) == 0
+        assert "BHR" in capsys.readouterr().out
+
+
 class TestHrc:
     def test_curve_printed(self, trace_file, capsys):
         assert main(["hrc", trace_file]) == 0

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.obs import MetricsRegistry, use_registry
 from repro.opt import solve_segmented, solve_segmented_parallel
+from repro.resilience import FaultPlan, FaultSpec, use_fault_plan
 from repro.trace import Request, Trace
 
 
@@ -72,6 +74,74 @@ class TestSolveSegmentedParallel:
         assert not parallel.decisions[nxt < 0].any()
         assert parallel.decisions.dtype == bool
         assert len(parallel.decisions) == len(small_zipf_trace)
+
+
+class TestSegmentFaultRecovery:
+    def test_failing_segment_retried_in_pool(self, small_zipf_trace):
+        """One injected crash: the in-pool retry succeeds and labels stay
+        bit-identical to the serial path."""
+        cache = 500
+        serial = solve_segmented(small_zipf_trace, cache, 500)
+        plan = FaultPlan([
+            FaultSpec(site="opt.segment_solve", at=(0,), attempts=1)
+        ])
+        registry = MetricsRegistry()
+        with use_registry(registry), use_fault_plan(plan):
+            parallel = solve_segmented_parallel(
+                small_zipf_trace, cache, 500, n_jobs=2
+            )
+        assert (serial.decisions == parallel.decisions).all()
+        assert serial.miss_cost == parallel.miss_cost
+        counters = registry.to_dict()["counters"]
+        assert counters["resilience.segment_solve_failures"] == 1
+        assert counters["resilience.segment_retries"] == 1
+        assert "resilience.segment_serial_fallbacks" not in counters
+
+    def test_persistent_failure_falls_back_to_serial(self, small_zipf_trace):
+        """A segment that keeps crashing is solved serially in the parent;
+        labels are still bit-identical."""
+        cache = 500
+        serial = solve_segmented(small_zipf_trace, cache, 500)
+        plan = FaultPlan([
+            FaultSpec(site="opt.segment_solve", at=(2,), attempts=99)
+        ])
+        registry = MetricsRegistry()
+        with use_registry(registry), use_fault_plan(plan):
+            parallel = solve_segmented_parallel(
+                small_zipf_trace, cache, 500, n_jobs=2,
+                max_segment_retries=1,
+            )
+        assert (serial.decisions == parallel.decisions).all()
+        assert serial.miss_cost == parallel.miss_cost
+        counters = registry.to_dict()["counters"]
+        # First attempt + one retry failed, then the serial fallback ran.
+        assert counters["resilience.segment_solve_failures"] == 2
+        assert counters["resilience.segment_retries"] == 1
+        assert counters["resilience.segment_serial_fallbacks"] == 1
+
+    def test_zero_retries_goes_straight_to_serial(self, small_zipf_trace):
+        cache = 500
+        serial = solve_segmented(small_zipf_trace, cache, 500)
+        plan = FaultPlan([
+            FaultSpec(site="opt.segment_solve", at=(1,), attempts=1)
+        ])
+        registry = MetricsRegistry()
+        with use_registry(registry), use_fault_plan(plan):
+            parallel = solve_segmented_parallel(
+                small_zipf_trace, cache, 500, n_jobs=2,
+                max_segment_retries=0,
+            )
+        assert (serial.decisions == parallel.decisions).all()
+        counters = registry.to_dict()["counters"]
+        assert counters["resilience.segment_serial_fallbacks"] == 1
+        assert "resilience.segment_retries" not in counters
+
+    def test_negative_max_retries_rejected(self, small_zipf_trace):
+        with pytest.raises(ValueError, match="max_segment_retries"):
+            solve_segmented_parallel(
+                small_zipf_trace, 500, 300, n_jobs=2,
+                max_segment_retries=-1,
+            )
 
 
 class TestSolvedRequestsAccounting:

@@ -4,6 +4,8 @@ import io
 
 import pytest
 
+from repro.obs import MetricsRegistry, use_registry
+from repro.resilience import FaultPlan, FaultSpec, use_fault_plan
 from repro.trace import (
     Request,
     Trace,
@@ -52,6 +54,68 @@ class TestTextFormat:
             next(it)
 
 
+class TestMalformedLineDiagnostics:
+    def test_error_names_path_line_and_content(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# header\n0 1 10\n0 not_a_number 10\n")
+        with pytest.raises(ValueError) as excinfo:
+            read_text_trace(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "line 3" in message
+        assert "not_a_number" in message  # the offending line is quoted
+
+    def test_error_names_stream_placeholder(self):
+        with pytest.raises(ValueError, match="<stream>"):
+            list(iter_text_requests(io.StringIO("0 1\n")))
+
+    def test_truncated_offending_line(self):
+        long_line = "x" * 500
+        with pytest.raises(ValueError) as excinfo:
+            list(iter_text_requests(io.StringIO(long_line + "\n")))
+        assert len(str(excinfo.value)) < 300
+
+    def test_wrong_field_count_message(self):
+        with pytest.raises(ValueError, match="expected 3 or 4 fields"):
+            list(iter_text_requests(io.StringIO("0 1 10 5.0 extra\n")))
+
+
+class TestTolerantMode:
+    def test_skips_malformed_and_counts(self):
+        text = "0 1 10\nBROKEN\n1 2 20\nalso bad line here\n2 3 30\n"
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            reqs = list(iter_text_requests(io.StringIO(text), tolerant=True))
+        assert [r.obj for r in reqs] == [1, 2, 3]
+        counters = registry.to_dict()["counters"]
+        assert counters["resilience.trace_lines_skipped"] == 2
+
+    def test_read_text_trace_forwards_tolerant(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("0 1 10\ngarbage\n1 2 20\n")
+        with pytest.raises(ValueError):
+            read_text_trace(path)
+        back = read_text_trace(path, tolerant=True)
+        assert len(back) == 2
+
+    def test_fault_plan_corrupts_deterministically(self, tmp_path):
+        path = tmp_path / "clean.txt"
+        write_text_trace(
+            [Request(float(i), i, 10) for i in range(10)], path
+        )
+        plan = FaultPlan([
+            FaultSpec(site="trace.read_line", kind="corrupt", at=(2, 5))
+        ])
+        with use_fault_plan(plan):
+            with pytest.raises(ValueError, match="!corrupt!"):
+                read_text_trace(path)
+        plan.reset()
+        with use_fault_plan(plan):
+            back = read_text_trace(path, tolerant=True)
+        assert len(back) == 8
+        assert [r.obj for r in back.requests[:4]] == [0, 1, 3, 4]
+
+
 class TestBinaryFormat:
     def test_roundtrip(self, small_zipf_trace, tmp_path):
         path = tmp_path / "trace.bin"
@@ -65,12 +129,41 @@ class TestBinaryFormat:
         with pytest.raises(ValueError, match="magic"):
             read_binary_trace(path)
 
+    def test_bad_magic_error_names_path(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 20)
+        with pytest.raises(ValueError, match="bad.bin"):
+            read_binary_trace(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"LFOTRACE" + b"\x00" * 4)  # header needs 12 bytes
+        with pytest.raises(ValueError, match="truncated binary trace header"):
+            read_binary_trace(path)
+
+    def test_unsupported_version_rejected(self, paper_trace, tmp_path):
+        path = tmp_path / "future.bin"
+        write_binary_trace(paper_trace, path)
+        data = bytearray(path.read_bytes())
+        data[8] = 99  # little-endian version field right after the magic
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version 99"):
+            read_binary_trace(path)
+
     def test_truncated_rejected(self, paper_trace, tmp_path):
         path = tmp_path / "trace.bin"
         write_binary_trace(paper_trace, path)
         data = path.read_bytes()
         path.write_bytes(data[:-8])
         with pytest.raises(ValueError, match="truncated"):
+            read_binary_trace(path)
+
+    def test_truncated_error_names_path(self, paper_trace, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_binary_trace(paper_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(ValueError, match="trace.bin"):
             read_binary_trace(path)
 
     def test_file_object_roundtrip(self, paper_trace):
