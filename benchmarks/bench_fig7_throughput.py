@@ -5,12 +5,14 @@ thread, scaling almost linearly to >11M/s on 44 threads; two threads
 suffice for a 40 Gbit/s link at 32KB mean object size, while 500B objects
 need all 44 threads.
 
-Here: numpy-vectorised batch scoring over a thread pool on whatever cores
-the host has.  Absolute rates differ (Python), but we reproduce (a) the
-rate measurement, (b) the thread sweep, and (c) the Gbit/s arithmetic for
-32KB and 500B objects.  Expected shape: throughput does not degrade as
-threads are added (numpy releases the GIL), and the Gbit/s conversion
-shows large objects need far fewer threads than tiny ones.
+Here: batch scoring through the flattened
+:class:`repro.gbdt.CompiledPredictor` (C kernel when a toolchain is
+present, vectorised numpy otherwise) over a worker pool on whatever
+cores the host has.  Absolute rates differ from the paper's hardware,
+but we reproduce (a) the rate measurement, (b) the worker sweep, and
+(c) the Gbit/s arithmetic for 32KB and 500B objects.  Expected shape:
+throughput does not degrade as workers are added, and the Gbit/s
+conversion shows large objects need far fewer workers than tiny ones.
 """
 
 from __future__ import annotations

@@ -22,6 +22,7 @@ DETERMINISTIC_SCOPES = (
     "repro.sim",
     "repro.opt",
     "repro.gbdt",
+    "repro.features",
     "repro.trace.synthetic",
     "benchmarks",
 )

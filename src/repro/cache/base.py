@@ -44,6 +44,13 @@ class CachePolicy(ABC):
         return self.cache_size - self.used_bytes
 
     @property
+    def supports_batched_scoring(self) -> bool:
+        """Whether :func:`repro.sim.simulate` may use its micro-batching
+        fast path for this policy (see :mod:`repro.sim.batched`).  Only
+        model-driven policies with a static scorer opt in."""
+        return False
+
+    @property
     def n_objects(self) -> int:
         """Number of resident objects."""
         return len(self._entries)

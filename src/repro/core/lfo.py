@@ -53,19 +53,35 @@ class LFOModel:
         cutoff: float = 0.5,
         eval_set: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> "LFOModel":
-        """Train a model on a (features, OPT labels) dataset."""
+        """Train a model on a (features, OPT labels) dataset.
+
+        The fitted ensemble is flattened into its
+        :class:`repro.gbdt.CompiledPredictor` here, at training time —
+        in the online pipeline that is the background trainer, so the
+        request path never pays compilation cost.
+        """
         classifier = GBDTClassifier(params or GBDTParams())
         classifier.fit(dataset.X, dataset.y, eval_set=eval_set)
+        classifier.compiled()
         n_gaps = len(dataset.names) - 3
         return cls(classifier=classifier, cutoff=cutoff, n_gaps=n_gaps)
 
     def likelihood(self, features: np.ndarray) -> np.ndarray:
         """Predicted probability that OPT would cache each row."""
-        return self.classifier.predict_proba(np.atleast_2d(features))
+        return self.classifier.compiled().predict_proba(features)
+
+    def likelihood_single(self, features: np.ndarray) -> float:
+        """Likelihood for one feature vector, no batch-shape overhead.
+
+        The per-request scoring path: skips ``atleast_2d`` and the
+        result-array allocation of :meth:`likelihood` and returns a bare
+        float.  Identical value to ``likelihood(features)[0]``.
+        """
+        return self.classifier.compiled().predict_proba_single(features)
 
     def admit(self, features: np.ndarray) -> bool:
         """Admission decision for a single feature vector."""
-        return bool(self.likelihood(features)[0] >= self.cutoff)
+        return self.likelihood_single(features) >= self.cutoff
 
     def prediction_error(self, X: np.ndarray, y: np.ndarray) -> float:
         """Fraction of requests where the model disagrees with OPT."""
@@ -129,8 +145,27 @@ class LFOCache(CachePolicy):
         return self._tracker
 
     def set_model(self, model: LFOModel) -> None:
-        """Swap in a freshly trained model (window hand-over, Fig. 2)."""
+        """Swap in a freshly trained model (window hand-over, Fig. 2).
+
+        Ensures the model's compiled predictor exists before the swap:
+        for models arriving from a trainer process the flattened arrays
+        travelled in the pickle, so this is a cache hit; for models built
+        any other way it pulls the one-time flattening off the request
+        path.
+        """
+        model.classifier.compiled()
         self.model = model
+
+    @property
+    def supports_batched_scoring(self) -> bool:
+        """Whether the simulator may score requests in lookahead batches.
+
+        Requires a static model (batch scores would go stale across a
+        model swap) and no periodic full rescore (whose every-N-requests
+        trigger is entangled with request order).  Subclasses with
+        request-path side effects (e.g. :class:`LFOOnline`) opt out.
+        """
+        return self.model is not None and self.rescore_interval == 0
 
     def _rank(self, obj: int, score: float) -> None:
         self._score[obj] = score
@@ -143,13 +178,10 @@ class LFOCache(CachePolicy):
         if self.model is None or not self._entries:
             return
         objs = list(self._entries)
-        matrix = np.empty(
-            (len(objs), self._tracker.n_features), dtype=np.float64
-        )
-        free = self.free_bytes
-        for row, obj in enumerate(objs):
-            probe = Request(self._now, obj, self._entries[obj])
-            matrix[row] = self._tracker.features(probe, free)
+        probes = [
+            Request(self._now, obj, self._entries[obj]) for obj in objs
+        ]
+        matrix = self._tracker.features_batch(probes, self.free_bytes)
         scores = self.model.likelihood(matrix)
         for obj, score in zip(objs, scores):
             self._rank(obj, float(score))
@@ -157,19 +189,32 @@ class LFOCache(CachePolicy):
     def on_request(self, request: Request) -> bool:
         """Process one request: score, admit/evict, learn features."""
         self._now = request.time
-        self._requests_seen += 1
         if (
             self.rescore_interval
-            and self._requests_seen % self.rescore_interval == 0
+            and (self._requests_seen + 1) % self.rescore_interval == 0
         ):
             self._rescore_all()
         features = self._tracker.features(request, self.free_bytes)
-        self.last_features = features
         score = (
-            float(self.model.likelihood(features)[0])
+            self.model.likelihood_single(features)
             if self.model is not None
             else 0.0
         )
+        return self.apply_scored(request, features, score)
+
+    def apply_scored(
+        self, request: Request, features: np.ndarray, score: float
+    ) -> bool:
+        """Apply one already-scored request: admit/evict/record.
+
+        Everything :meth:`on_request` does *after* feature extraction and
+        model scoring, so the batched scoring engine
+        (:mod:`repro.sim.batched`) can pre-score lookahead batches and
+        replay decisions through exactly this code path.
+        """
+        self._now = request.time
+        self._requests_seen += 1
+        self.last_features = features
         hit = request.obj in self._entries
         if hit:
             # Re-evaluate the hit object's likelihood (Section 2.4).
@@ -204,7 +249,7 @@ class LFOCache(CachePolicy):
         if self.model is not None:
             probe = Request(self._now, obj, size)
             features = self._tracker.features(probe, self.free_bytes)
-            self._rank(obj, float(self.model.likelihood(features)[0]))
+            self._rank(obj, self.model.likelihood_single(features))
 
     def _select_victim(self, incoming: Request) -> int | None:
         if self.model is None or self.eviction == "lru":

@@ -327,6 +327,12 @@ class LFOOnline(LFOCache):
     # -- training status -----------------------------------------------------
 
     @property
+    def supports_batched_scoring(self) -> bool:
+        """Never batchable: the model swaps at window boundaries and every
+        request must buffer its live features for training."""
+        return False
+
+    @property
     def training_pending(self) -> bool:
         """True while a background training job is in flight."""
         return self._pending is not None and not self._pending.done()

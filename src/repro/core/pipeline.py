@@ -61,10 +61,9 @@ def prepare_windows(
 
     tracker = FeatureTracker(n_gaps=n_gaps)
     names = feature_names(n_gaps)
-    X = np.empty((len(span), tracker.n_features), dtype=np.float64)
-    for i, request in enumerate(span):
-        X[i] = tracker.features(request, int(free[i]))
-        tracker.update(request)
+    X = tracker.features_batch(
+        list(span), free.astype(np.float64), update=True
+    )
 
     train_trace = span[:train_size]
     test_trace = span[train_size:]

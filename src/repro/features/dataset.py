@@ -53,13 +53,15 @@ def build_features(
             constant (``cache_size``) is used.
         cache_size: fallback free-bytes value when ``free_bytes_fn`` is None.
     """
-    n = len(trace)
-    X = np.empty((n, tracker.n_features), dtype=np.float64)
-    for i, request in enumerate(trace):
-        free = free_bytes_fn(i) if free_bytes_fn is not None else cache_size
-        X[i] = tracker.features(request, free)
-        tracker.update(request)
-    return X
+    requests = list(trace)
+    if free_bytes_fn is not None:
+        free = np.array(
+            [free_bytes_fn(i) for i in range(len(requests))],
+            dtype=np.float64,
+        )
+    else:
+        free = float(cache_size)
+    return tracker.features_batch(requests, free, update=True)
 
 
 def build_dataset(

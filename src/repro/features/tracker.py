@@ -12,14 +12,22 @@ The gap representation is shift-invariant (except the first entry, which is
 the gap from the most recent request to "now"), which the paper argues is
 important for robustness, unlike LRU-K's absolute-age representation.
 
-The tracker uses a sparse per-object representation (most CDN objects see
-fewer than 5 requests, §2.2) with an optional LRU cap on tracked objects so
-memory stays bounded on adversarial one-touch scans.
+Storage is an *arena*: every tracked object owns one row of a dense
+``(capacity, n_gaps + 1)`` float64 slab of request times, plus parallel
+``head``/``count``/``last_cost`` vectors.  An ordered object → row map
+preserves LRU order for the optional ``max_objects`` cap, and evicted
+rows go on a free list for recycling, so memory stays bounded on
+adversarial one-touch scans and the slab never fragments.  Feature
+extraction is pure slice arithmetic over the slab — no per-gap Python
+loop — and :meth:`FeatureTracker.features_batch` gathers whole request
+batches in one shot for the rescoring, dataset-construction, and
+labeling paths.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Sequence
 from time import perf_counter
 
 import numpy as np
@@ -33,6 +41,9 @@ __all__ = ["FeatureTracker", "MISSING_GAP", "feature_names"]
 #: learner can separate "long ago" from "never".
 MISSING_GAP = 1e9
 
+#: Arena capacity for unbounded trackers starts here and doubles on demand.
+_INITIAL_CAPACITY = 1024
+
 
 def feature_names(n_gaps: int = 50) -> list[str]:
     """Column names of the feature matrix, in order."""
@@ -41,38 +52,8 @@ def feature_names(n_gaps: int = 50) -> list[str]:
     ]
 
 
-class _ObjectState:
-    """Per-object sliding history (ring buffer of request times)."""
-
-    __slots__ = ("times", "head", "count", "last_cost")
-
-    def __init__(self, n_slots: int) -> None:
-        self.times = [0.0] * n_slots
-        self.head = 0
-        self.count = 0
-        self.last_cost = 0.0
-
-    def record(self, time: float, cost: float, n_slots: int) -> None:
-        self.times[self.head] = time
-        self.head = (self.head + 1) % n_slots
-        if self.count < n_slots:
-            self.count += 1
-        self.last_cost = cost
-
-    def gaps(self, now: float, n_gaps: int, n_slots: int) -> list[float]:
-        """Gaps ordered most-recent first; padded with MISSING_GAP."""
-        out = [MISSING_GAP] * n_gaps
-        prev = now
-        for k in range(min(self.count, n_gaps)):
-            pos = (self.head - 1 - k) % n_slots
-            t = self.times[pos]
-            out[k] = prev - t
-            prev = t
-        return out
-
-
 class FeatureTracker:
-    """Sparse online feature state over a request stream.
+    """Arena-backed online feature state over a request stream.
 
     Usage per request (order matters)::
 
@@ -94,12 +75,32 @@ class FeatureTracker:
         # historical gaps are all available.
         self._n_slots = n_gaps + 1
         self.max_objects = max_objects
-        self._objects: OrderedDict[int, _ObjectState] = OrderedDict()
-        # Extraction-latency instrument, cached per registry so the enabled
+        capacity = max_objects if max_objects else _INITIAL_CAPACITY
+        self._times = np.zeros((capacity, self._n_slots), dtype=np.float64)
+        self._last_cost = np.zeros(capacity, dtype=np.float64)
+        self._head = np.zeros(capacity, dtype=np.int64)
+        self._count = np.zeros(capacity, dtype=np.int64)
+        #: object id → arena row, in LRU order (oldest first).
+        self._rows: OrderedDict[int, int] = OrderedDict()
+        #: rows released by eviction/forget, recycled before slab growth.
+        self._free: list[int] = []
+        self._next_row = 0
+        #: object evicted by the LRU cap during the most recent
+        #: :meth:`update` (None when nothing was evicted).  The batched
+        #: scoring engine uses this to invalidate speculated rows.
+        self.last_evicted: int | None = None
+        # Most-recent-first slab positions for every possible head value:
+        # row ``h`` lists ``(h - 1 - k) % n_slots`` for k = 0.., so a
+        # ring-buffer read is one table row away.
+        slots = np.arange(self._n_slots, dtype=np.int64)
+        self._idx = (slots[:, None] - 1 - slots[None, :]) % self._n_slots
+        # Extraction-latency instruments, cached per registry so the enabled
         # path pays one identity check per request instead of a registry
         # lookup; None until a real registry is first seen.
         self._obs_registry = None
         self._obs_hist = None
+        self._obs_batch_hist = None
+        self._obs_batch_rows = None
 
     @property
     def n_features(self) -> int:
@@ -109,7 +110,39 @@ class FeatureTracker:
     @property
     def n_tracked(self) -> int:
         """Number of objects with live state."""
-        return len(self._objects)
+        return len(self._rows)
+
+    # -- arena bookkeeping --------------------------------------------------
+
+    def _grow(self) -> None:
+        capacity = len(self._head)
+        new_capacity = capacity * 2
+        times = np.zeros((new_capacity, self._n_slots), dtype=np.float64)
+        times[:capacity] = self._times
+        self._times = times
+        self._last_cost = np.resize(self._last_cost, new_capacity)
+        self._last_cost[capacity:] = 0.0
+        self._head = np.resize(self._head, new_capacity)
+        self._head[capacity:] = 0
+        self._count = np.resize(self._count, new_capacity)
+        self._count[capacity:] = 0
+
+    def _alloc_row(self) -> int:
+        if self._free:
+            row = self._free.pop()
+        else:
+            if self._next_row >= len(self._head):
+                self._grow()
+            row = self._next_row
+            self._next_row += 1
+        # Stale slab times are invisible while count is 0, so resetting
+        # the scalars is all recycling needs.
+        self._head[row] = 0
+        self._count[row] = 0
+        self._last_cost[row] = 0.0
+        return row
+
+    # -- extraction ---------------------------------------------------------
 
     def features(self, request: Request, free_bytes: int) -> np.ndarray:
         """Feature vector for ``request`` given current cache free space.
@@ -126,44 +159,149 @@ class FeatureTracker:
         if not registry.enabled:
             return self._extract(request, free_bytes)
         if registry is not self._obs_registry:
-            self._obs_registry = registry
-            self._obs_hist = registry.histogram("features.extract_seconds")
+            self._bind_instruments(registry)
         started = perf_counter()
         vec = self._extract(request, free_bytes)
         self._obs_hist.observe(perf_counter() - started)
         return vec
 
+    def _bind_instruments(self, registry) -> None:
+        self._obs_registry = registry
+        self._obs_hist = registry.histogram("features.extract_seconds")
+        self._obs_batch_hist = registry.histogram(
+            "features.batch_extract_seconds"
+        )
+        self._obs_batch_rows = registry.histogram("features.batch_rows")
+
     def _extract(self, request: Request, free_bytes: int) -> np.ndarray:
         vec = np.empty(self.n_features, dtype=np.float64)
         vec[0] = request.size
         vec[2] = free_bytes
-        state = self._objects.get(request.obj)
-        if state is None:
+        row = self._rows.get(request.obj)
+        if row is None:
             vec[1] = request.cost
             vec[3:] = MISSING_GAP
         else:
-            vec[1] = state.last_cost
-            vec[3:] = state.gaps(request.time, self.n_gaps, self._n_slots)
+            vec[1] = self._last_cost[row]
+            self._gaps_into(row, request.time, vec[3:])
         return vec
+
+    def _gaps_into(self, row: int, now: float, out: np.ndarray) -> None:
+        """Write gaps (most-recent first, MISSING_GAP padded) into ``out``."""
+        m = min(int(self._count[row]), self.n_gaps)
+        out[m:] = MISSING_GAP
+        if m:
+            t = self._times[row, self._idx[self._head[row], :m]]
+            out[0] = now - t[0]
+            if m > 1:
+                out[1:m] = t[: m - 1] - t[1:m]
+
+    def features_batch(
+        self,
+        requests: Sequence[Request],
+        free_bytes,
+        update: bool = False,
+    ) -> np.ndarray:
+        """Feature matrix for a batch of requests.
+
+        Args:
+            requests: the requests to featurise, in stream order.
+            free_bytes: free cache bytes — one scalar applied to every
+                row, or a per-request sequence.
+            update: with ``False`` (probe mode) every row is extracted
+                against the *current* tracker state and nothing is
+                recorded — the rescoring and speculative-scoring case,
+                fully vectorised across the batch.  With ``True`` each
+                request is extracted and then recorded before the next,
+                exactly like a ``features``/``update`` loop — the
+                dataset-construction case, where in-batch repeats of an
+                object must see each other.
+
+        Returns:
+            ``(len(requests), n_features)`` float64 matrix whose rows are
+            bit-identical to the equivalent :meth:`features` calls.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            return self._extract_batch(requests, free_bytes, update)
+        if registry is not self._obs_registry:
+            self._bind_instruments(registry)
+        started = perf_counter()
+        X = self._extract_batch(requests, free_bytes, update)
+        self._obs_batch_hist.observe(perf_counter() - started)
+        self._obs_batch_rows.observe(len(requests))
+        return X
+
+    def _extract_batch(
+        self,
+        requests: Sequence[Request],
+        free_bytes,
+        update: bool,
+    ) -> np.ndarray:
+        n = len(requests)
+        fb = np.broadcast_to(
+            np.asarray(free_bytes, dtype=np.float64), (n,)
+        )
+        if update:
+            X = np.empty((n, self.n_features), dtype=np.float64)
+            for i, request in enumerate(requests):
+                X[i] = self._extract(request, fb[i])
+                self.update(request)
+            return X
+        X = np.empty((n, self.n_features), dtype=np.float64)
+        X[:, 0] = [r.size for r in requests]
+        X[:, 1] = [r.cost for r in requests]
+        X[:, 2] = fb
+        X[:, 3:] = MISSING_GAP
+        rows = np.array(
+            [self._rows.get(r.obj, -1) for r in requests], dtype=np.int64
+        )
+        known = np.flatnonzero(rows >= 0)
+        if len(known) == 0:
+            return X
+        kr = rows[known]
+        now = np.array([requests[i].time for i in known], dtype=np.float64)
+        X[known, 1] = self._last_cost[kr]
+        counts = np.minimum(self._count[kr], self.n_gaps)
+        positions = self._idx[self._head[kr], : self.n_gaps]
+        t = self._times[kr[:, None], positions]
+        gaps = np.empty_like(t)
+        gaps[:, 0] = now - t[:, 0]
+        gaps[:, 1:] = t[:, :-1] - t[:, 1:]
+        gaps[np.arange(self.n_gaps)[None, :] >= counts[:, None]] = MISSING_GAP
+        X[known, 3:] = gaps
+        return X
+
+    # -- recording ----------------------------------------------------------
 
     def update(self, request: Request) -> None:
         """Record a request in the object's history."""
-        state = self._objects.get(request.obj)
-        if state is None:
-            state = _ObjectState(self._n_slots)
-            self._objects[request.obj] = state
+        row = self._rows.get(request.obj)
+        if row is None:
+            row = self._alloc_row()
+            self._rows[request.obj] = row
         else:
-            self._objects.move_to_end(request.obj)
-        state.record(request.time, request.cost, self._n_slots)
-        if self.max_objects and len(self._objects) > self.max_objects:
-            self._objects.popitem(last=False)
+            self._rows.move_to_end(request.obj)
+        head = self._head[row]
+        self._times[row, head] = request.time
+        self._head[row] = (head + 1) % self._n_slots
+        if self._count[row] < self._n_slots:
+            self._count[row] += 1
+        self._last_cost[row] = request.cost
+        evicted = None
+        if self.max_objects and len(self._rows) > self.max_objects:
+            evicted, released = self._rows.popitem(last=False)
+            self._free.append(released)
+        self.last_evicted = evicted
 
     def memory_bytes_naive(self) -> int:
         """The paper's back-of-envelope accounting: a dense per-object record
         of 50 gaps (4 B each) plus size, cost, and bookkeeping ≈ 208 B."""
         per_object = 4 * self.n_gaps + 8  # gaps + size/cost words
-        return per_object * len(self._objects)
+        return per_object * len(self._rows)
 
     def forget(self, obj: int) -> None:
         """Drop state for an object (e.g. after long inactivity)."""
-        self._objects.pop(obj, None)
+        row = self._rows.pop(obj, None)
+        if row is not None:
+            self._free.append(row)

@@ -2,16 +2,19 @@
 
 from .binning import BinMapper
 from .boosting import GBDTClassifier, GBDTParams, GBDTRegressor
+from .compiled import CompiledPredictor, kernel_available
 from .losses import LogisticLoss, SquaredLoss, sigmoid
 from .tree import Tree, TreeGrowthParams, grow_tree
 
 __all__ = [
     "BinMapper",
+    "CompiledPredictor",
     "GBDTClassifier",
     "GBDTParams",
     "GBDTRegressor",
     "LogisticLoss",
     "SquaredLoss",
+    "kernel_available",
     "sigmoid",
     "Tree",
     "TreeGrowthParams",

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..obs import get_registry
 from .binning import BinMapper
+from .compiled import CompiledPredictor
 from .losses import LogisticLoss, SquaredLoss
 from .tree import Tree, TreeGrowthParams, grow_tree
 
@@ -68,6 +69,7 @@ class _GBDTBase:
         self.n_features: int | None = None
         self.best_iteration: int | None = None
         self.eval_history: list[float] = []
+        self._compiled: CompiledPredictor | None = None
 
     # -- training ---------------------------------------------------------
 
@@ -109,6 +111,7 @@ class _GBDTBase:
         else:
             X_val = y_val = raw_val = None
 
+        self._compiled = None
         rng = np.random.default_rng(params.seed)
         n = len(y)
         tree_params = params.tree_params()
@@ -163,8 +166,33 @@ class _GBDTBase:
 
     # -- prediction ---------------------------------------------------------
 
+    def compiled(self) -> CompiledPredictor:
+        """The flattened fast predictor for this fitted ensemble.
+
+        Built once and cached; refitting invalidates the cache.  The
+        returned predictor is immutable and safe to share across
+        threads, which is how :class:`repro.core.lfo.LFOModel` and the
+        batched simulator avoid any per-request compilation cost.
+        """
+        if self.mapper is None or self.n_features is None:
+            raise RuntimeError("model is not fitted")
+        if self._compiled is None:
+            self._compiled = CompiledPredictor.from_ensemble(
+                self.trees,
+                self.init_score,
+                self.params.learning_rate,
+                self.n_features,
+            )
+        return self._compiled
+
     def predict_raw(self, X: np.ndarray) -> np.ndarray:
-        """Sum of tree outputs plus the init score (pre-link scores)."""
+        """Sum of tree outputs plus the init score (pre-link scores).
+
+        Reference implementation: walks every tree's node table in
+        Python.  Kept as the numerical ground truth the compiled
+        predictor is tested against; hot paths go through
+        :meth:`compiled` instead.
+        """
         if self.mapper is None:
             raise RuntimeError("model is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))

@@ -1,0 +1,460 @@
+"""Compiled ensemble inference: the scoring hot path in flat-array form.
+
+The reference predictor (:meth:`repro.gbdt.boosting._GBDTBase.predict_raw`)
+walks every tree's Python-list node tables per call.  That is fine for
+training-time evaluation but far too slow for the paper's Figure 7 claim
+that LFO inference sustains CDN line rate.  :class:`CompiledPredictor`
+flattens a fitted ensemble *once* into contiguous node tables so scoring
+never touches Python lists again:
+
+* per-tree node records are concatenated into one array-of-structs slab
+  (``threshold``, ``feature``, ``kid_le``/``kid_gt`` child ids, leaf
+  ``value`` pre-scaled by the learning rate) with per-tree root offsets;
+* thresholds are the *raw-value* thresholds recorded at growth time, so
+  prediction skips re-binning entirely;
+* leaves are self-referential (``feature=0``, ``threshold=+inf``, both
+  children pointing at the leaf itself), which makes node stepping
+  idempotent — a walk can run for a fixed per-tree depth with no
+  leaf checks at all.
+
+Two execution backends share that layout:
+
+* **kernel** — a small C routine (branchless fixed-depth walk, several
+  interleaved rows to hide load latency) compiled once per process with
+  the system C compiler and bound through :mod:`ctypes`.  The kernel is
+  model-independent: every predictor in the process reuses the same
+  shared object.  ctypes releases the GIL for the call, so predictor
+  *threads* scale too, not just processes.
+* **numpy** — a vectorised self-loop level walk over the same arrays,
+  used when no C compiler is available (``cc`` missing, sandboxed, or
+  ``REPRO_GBDT_NO_CC=1``).  Slower than the kernel but still far ahead
+  of the reference path, and always available.
+
+Numerical contract (pinned by ``tests/test_gbdt_compiled.py``): the
+kernel accumulates ``init_score + Σ value`` in tree order, exactly like
+the reference loop, and is bit-identical to it; the numpy backend sums
+with numpy's pairwise reduction and agrees to well under 1e-12.  Within
+one predictor, batch and single-row scoring are bit-identical to each
+other, which is what lets the batched simulator replay decisions
+deterministically (see :mod:`repro.sim.batched`).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import logging
+import os
+import subprocess
+import tempfile
+import threading
+from time import perf_counter
+
+import numpy as np
+
+from ..obs import get_registry
+from .losses import sigmoid
+from .tree import Tree
+
+__all__ = ["CompiledPredictor", "kernel_available"]
+
+logger = logging.getLogger("repro.gbdt")
+
+#: Environment switch forcing the portable numpy backend (useful for the
+#: fallback's own tests and for machines without a C toolchain).
+_NO_CC_ENV = "REPRO_GBDT_NO_CC"
+
+#: Interleaved rows per kernel iteration: enough independent dependency
+#: chains to hide node-table load latency without spilling registers.
+_LANES = 8
+
+#: One node record: raw-value threshold, split feature (0 at leaves),
+#: child ids for the ``<=`` / ``>`` outcomes (self-loop at leaves), pad
+#: to keep the value 8-byte aligned, pre-scaled leaf value.
+_NODE_DTYPE = np.dtype(
+    [
+        ("threshold", "<f8"),
+        ("feature", "<i4"),
+        ("kid_le", "<i4"),
+        ("kid_gt", "<i4"),
+        ("pad", "<i4"),
+        ("value", "<f8"),
+    ]
+)
+
+_KERNEL_SOURCE = r"""
+#include <stdint.h>
+
+typedef struct {
+    double threshold;
+    int32_t feature;
+    int32_t kids[2];
+    int32_t pad;
+    double value;
+} Node;
+
+#define LANES %(lanes)d
+
+void predict_raw(const double *X, long n, long d,
+                 const Node *nodes, const int32_t *roots,
+                 const int32_t *depths, long n_trees,
+                 double init_score, double *out)
+{
+    long i = 0;
+    for (; i + LANES <= n; i += LANES) {
+        const double *x[LANES];
+        double acc[LANES];
+        int32_t cur[LANES];
+        for (int l = 0; l < LANES; l++) {
+            x[l] = X + (i + l) * d;
+            acc[l] = init_score;
+        }
+        for (long t = 0; t < n_trees; t++) {
+            const int32_t root = roots[t];
+            const int32_t depth = depths[t];
+            for (int l = 0; l < LANES; l++)
+                cur[l] = root;
+            for (int32_t k = 0; k < depth; k++)
+                for (int l = 0; l < LANES; l++) {
+                    const Node *nd = nodes + cur[l];
+                    cur[l] = nd->kids[x[l][nd->feature] > nd->threshold];
+                }
+            for (int l = 0; l < LANES; l++)
+                acc[l] += nodes[cur[l]].value;
+        }
+        for (int l = 0; l < LANES; l++)
+            out[i + l] = acc[l];
+    }
+    for (; i < n; i++) {
+        const double *x = X + i * d;
+        double acc = init_score;
+        for (long t = 0; t < n_trees; t++) {
+            int32_t cur = roots[t];
+            for (int32_t k = 0, depth = depths[t]; k < depth; k++) {
+                const Node *nd = nodes + cur;
+                cur = nd->kids[x[nd->feature] > nd->threshold];
+            }
+            acc += nodes[cur].value;
+        }
+        out[i] = acc;
+    }
+}
+""" % {"lanes": _LANES}
+
+
+class _Kernel:
+    """A loaded ``predict_raw`` C routine (one per process, shared).
+
+    All pointer arguments are declared ``void*`` so callers can pass the
+    plain integer addresses from ``ndarray.ctypes.data`` — this skips the
+    ``data_as``/``cast`` machinery, which costs more than the walk itself
+    on single-row calls.
+    """
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self.fn = lib.predict_raw
+        self.fn.restype = None
+        self.fn.argtypes = [
+            ctypes.c_void_p, ctypes.c_long, ctypes.c_long,
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_long, ctypes.c_double, ctypes.c_void_p,
+        ]
+
+
+def _sigmoid_scalar(x: float) -> float:
+    """Scalar logistic, bit-identical to :func:`repro.gbdt.losses.sigmoid`.
+
+    Uses the same branch structure and ``np.exp`` (whose scalar path
+    matches its vectorised path bit-for-bit), with the division done in
+    IEEE double either way — so a single-row probability always equals
+    the corresponding batch entry exactly.
+    """
+    if x >= 0.0:
+        return float(1.0 / (1.0 + np.exp(-x)))
+    ex = float(np.exp(x))
+    return ex / (1.0 + ex)
+
+
+#: Process-wide kernel cache: None = not attempted, False = build failed
+#: (don't retry), _Kernel = ready.  Guarded by a lock because the first
+#: bind may race between the trainer thread and the request loop.
+_kernel_state: _Kernel | bool | None = None
+_kernel_lock = threading.Lock()
+
+
+def _build_kernel() -> _Kernel | bool:
+    """Compile and load the C kernel; False when the toolchain is absent."""
+    if os.environ.get(_NO_CC_ENV):
+        logger.info("%s set; using the numpy prediction backend", _NO_CC_ENV)
+        return False
+    build_dir = tempfile.mkdtemp(prefix="repro-gbdt-kernel-")
+    source_path = os.path.join(build_dir, "predict.c")
+    lib_path = os.path.join(build_dir, "predict.so")
+    try:
+        with open(source_path, "w") as handle:
+            handle.write(_KERNEL_SOURCE)
+        subprocess.run(
+            ["cc", "-O3", "-fPIC", "-shared", "-o", lib_path, source_path],
+            check=True,
+            capture_output=True,
+        )
+        return _Kernel(ctypes.CDLL(lib_path))
+    except (OSError, subprocess.SubprocessError) as exc:
+        # Missing `cc`, a sandboxed tempdir, or a failed compile: every
+        # prediction still works on the numpy backend, just slower.
+        logger.warning(
+            "could not build the GBDT C kernel (%s); "
+            "falling back to the numpy prediction backend",
+            type(exc).__name__,
+        )
+        return False
+
+
+def _get_kernel() -> _Kernel | None:
+    global _kernel_state
+    state = _kernel_state
+    if state is None:
+        with _kernel_lock:
+            state = _kernel_state
+            if state is None:
+                started = perf_counter()
+                state = _build_kernel()
+                _kernel_state = state
+                if state:
+                    registry = get_registry()
+                    if registry.enabled:
+                        registry.histogram("gbdt.kernel_build_seconds").observe(
+                            perf_counter() - started
+                        )
+    return state if isinstance(state, _Kernel) else None
+
+
+def kernel_available() -> bool:
+    """True when the C backend is (or can be made) ready in this process."""
+    return _get_kernel() is not None
+
+
+class CompiledPredictor:
+    """Flattened, backend-accelerated inference over a fitted ensemble.
+
+    Build one with :meth:`from_ensemble` (or, more commonly, via
+    :meth:`repro.gbdt.GBDTClassifier.compiled`, which caches it on the
+    model).  The predictor is immutable: refitting the model compiles a
+    fresh one.
+
+    Attributes:
+        n_trees: number of flattened trees.
+        n_features: feature-vector width the ensemble was fitted on.
+        init_score: the ensemble's base score (pre-link).
+        backend: ``"kernel"`` or ``"numpy"`` — resolved lazily on first
+            prediction, and re-resolved after unpickling (the kernel
+            binding never crosses process boundaries).
+    """
+
+    def __init__(
+        self,
+        nodes: np.ndarray,
+        roots: np.ndarray,
+        depths: np.ndarray,
+        init_score: float,
+        n_features: int,
+    ) -> None:
+        self._nodes = nodes
+        self._roots = roots
+        self._depths = depths
+        self.init_score = float(init_score)
+        self.n_features = int(n_features)
+        self._kernel: _Kernel | None = None
+        self._kernel_resolved = False
+        # numpy-backend views, built on first fallback use.
+        self._numpy_views: tuple[np.ndarray, ...] | None = None
+        # single-row reusable buffers + raw pointers, built on first use.
+        self._fast: tuple | None = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_ensemble(
+        cls,
+        trees: list[Tree],
+        init_score: float,
+        learning_rate: float,
+        n_features: int,
+    ) -> "CompiledPredictor":
+        """Flatten fitted trees into one contiguous node slab.
+
+        Leaf values are pre-scaled by ``learning_rate`` so prediction is a
+        plain sum; raw-value thresholds are copied from the trees, so no
+        bin mapper is needed at scoring time.  Observed into the
+        ``gbdt.compile_seconds`` histogram when a registry is active.
+        """
+        registry = get_registry()
+        started = perf_counter() if registry.enabled else 0.0
+        total_nodes = sum(len(tree.feature) for tree in trees)
+        nodes = np.zeros(max(total_nodes, 1), dtype=_NODE_DTYPE)
+        roots = np.zeros(len(trees), dtype=np.int32)
+        depths = np.zeros(len(trees), dtype=np.int32)
+        offset = 0
+        for t, tree in enumerate(trees):
+            feature, _, threshold, left, right, value = tree._materialise()
+            size = len(feature)
+            block = nodes[offset:offset + size]
+            is_leaf = feature < 0
+            node_ids = np.arange(offset, offset + size, dtype=np.int64)
+            block["threshold"] = np.where(is_leaf, np.inf, threshold)
+            block["feature"] = np.where(is_leaf, 0, feature)
+            block["kid_le"] = np.where(is_leaf, node_ids, left + offset)
+            block["kid_gt"] = np.where(is_leaf, node_ids, right + offset)
+            block["value"] = value * learning_rate
+            roots[t] = offset
+            depths[t] = tree.max_depth()
+            offset += size
+        predictor = cls(nodes, roots, depths, init_score, n_features)
+        if registry.enabled:
+            registry.histogram("gbdt.compile_seconds").observe(
+                perf_counter() - started
+            )
+        return predictor
+
+    # -- prediction ---------------------------------------------------------
+
+    @property
+    def n_trees(self) -> int:
+        """Number of flattened trees."""
+        return len(self._roots)
+
+    @property
+    def backend(self) -> str:
+        """The execution backend this process resolved to."""
+        return "kernel" if self._resolve_kernel() is not None else "numpy"
+
+    def _resolve_kernel(self) -> _Kernel | None:
+        if not self._kernel_resolved:
+            self._kernel = _get_kernel()
+            self._kernel_resolved = True
+        return self._kernel
+
+    def predict_raw(self, X: np.ndarray) -> np.ndarray:
+        """Pre-link scores for a ``(n, n_features)`` batch (or one row)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {X.shape[1]}"
+            )
+        X = np.ascontiguousarray(X)
+        kernel = self._resolve_kernel()
+        out = np.empty(X.shape[0], dtype=np.float64)
+        if kernel is not None:
+            kernel.fn(
+                X.ctypes.data, X.shape[0], X.shape[1],
+                self._nodes.ctypes.data, self._roots.ctypes.data,
+                self._depths.ctypes.data, len(self._roots),
+                self.init_score, out.ctypes.data,
+            )
+            return out
+        return self._predict_raw_numpy(X, out)
+
+    def _fast_buffers(self) -> tuple:
+        fast = self._fast
+        if fast is None:
+            row = np.empty(self.n_features, dtype=np.float64)
+            out = np.empty(1, dtype=np.float64)
+            fast = (
+                row, out, row.ctypes.data, out.ctypes.data,
+                self._nodes.ctypes.data, self._roots.ctypes.data,
+                self._depths.ctypes.data, len(self._roots),
+            )
+            self._fast = fast
+        return fast
+
+    def predict_raw_single(self, x: np.ndarray) -> float:
+        """Pre-link score for one feature vector (scalar fast path).
+
+        Bit-identical to ``predict_raw(x[None, :])[0]`` on either
+        backend — the batched simulator relies on that.  Reuses
+        persistent row/output buffers, so the only per-call work is one
+        52-element copy and the kernel walk itself.
+        """
+        kernel = self._resolve_kernel()
+        if kernel is None:
+            out = np.empty(1, dtype=np.float64)
+            x2 = np.ascontiguousarray(x, dtype=np.float64)[None, :]
+            return float(self._predict_raw_numpy(x2, out)[0])
+        row, out, row_ptr, out_ptr, nodes_ptr, roots_ptr, depths_ptr, \
+            n_trees = self._fast_buffers()
+        row[:] = x
+        kernel.fn(
+            row_ptr, 1, self.n_features,
+            nodes_ptr, roots_ptr, depths_ptr, n_trees,
+            self.init_score, out_ptr,
+        )
+        return float(out[0])
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Positive-class probability per row (logistic link)."""
+        return sigmoid(self.predict_raw(X))
+
+    def predict_proba_single(self, x: np.ndarray) -> float:
+        """Positive-class probability for one feature vector."""
+        return _sigmoid_scalar(self.predict_raw_single(x))
+
+    def _numpy_arrays(self) -> tuple[np.ndarray, ...]:
+        views = self._numpy_views
+        if views is None:
+            # Contiguous copies: structured-field views have a 32-byte
+            # stride, which would slow every gather in the walk.
+            kids = np.empty(2 * len(self._nodes), dtype=np.int64)
+            kids[0::2] = self._nodes["kid_le"]
+            kids[1::2] = self._nodes["kid_gt"]
+            views = (
+                np.ascontiguousarray(self._nodes["feature"], dtype=np.int64),
+                np.ascontiguousarray(self._nodes["threshold"]),
+                kids,
+                np.ascontiguousarray(self._nodes["value"]),
+                self._roots.astype(np.int64),
+            )
+            self._numpy_views = views
+        return views
+
+    def _predict_raw_numpy(self, X: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Self-loop level walk over all (row, tree) pairs at once."""
+        feature, threshold, kids, value, roots = self._numpy_arrays()
+        n = X.shape[0]
+        node = np.repeat(roots[None, :], n, axis=0)  # (n, n_trees)
+        x_flat = X.ravel()
+        row_base = (np.arange(n, dtype=np.int64) * X.shape[1])[:, None]
+        for _ in range(int(self._depths.max(initial=0))):
+            gathered = x_flat[row_base + feature[node]]
+            go_right = gathered > threshold[node]
+            node = kids[(node << 1) + go_right]
+        np.sum(value[node], axis=1, out=out)
+        out += self.init_score
+        return out
+
+    # -- threshold introspection -------------------------------------------
+
+    def feature_thresholds(self, feature: int) -> np.ndarray:
+        """Sorted unique raw thresholds the ensemble tests on a feature.
+
+        Two input values that fall between the same pair of consecutive
+        thresholds take identical paths through every tree, hence score
+        identically — the speculation invariant the batched simulator
+        uses for the volatile free-bytes feature.
+        """
+        internal = self._nodes["kid_le"] != np.arange(
+            len(self._nodes), dtype=np.int64
+        )
+        mask = internal & (self._nodes["feature"] == feature)
+        return np.unique(self._nodes["threshold"][mask])
+
+    # -- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # ctypes bindings and raw buffer addresses are process-local;
+        # re-resolve/rebuild after unpickling.
+        state["_kernel"] = None
+        state["_kernel_resolved"] = False
+        state["_fast"] = None
+        return state

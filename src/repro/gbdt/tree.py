@@ -39,6 +39,13 @@ class Tree:
     sample's bin ≤ threshold) and the equivalent raw-value ``threshold``
     (go left when raw value ≤ threshold); leaves hold ``value``.
     ``feature[i] == -1`` marks a leaf.
+
+    The node lists are the canonical state (kept for growth and
+    serialisation); prediction runs on numpy views that are materialised
+    once and cached.  All structural mutation goes through
+    :meth:`_new_node`, :meth:`_set_split` and :meth:`_set_value`, which
+    invalidate the cache — mutating the lists directly after a predict
+    call would leave it stale.
     """
 
     feature: list[int] = field(default_factory=list)
@@ -49,6 +56,29 @@ class Tree:
     value: list[float] = field(default_factory=list)
     gain: list[float] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._arrays: tuple[np.ndarray, ...] | None = None
+        self._n_leaves: int | None = None
+
+    def _invalidate(self) -> None:
+        self._arrays = None
+        self._n_leaves = None
+
+    def _materialise(self) -> tuple[np.ndarray, ...]:
+        """Node lists as numpy arrays, built once and reused per predict."""
+        arrays = self._arrays
+        if arrays is None:
+            arrays = (
+                np.asarray(self.feature, dtype=np.int64),
+                np.asarray(self.bin_threshold, dtype=np.int64),
+                np.asarray(self.threshold, dtype=np.float64),
+                np.asarray(self.left, dtype=np.int64),
+                np.asarray(self.right, dtype=np.int64),
+                np.asarray(self.value, dtype=np.float64),
+            )
+            self._arrays = arrays
+        return arrays
+
     def _new_node(self) -> int:
         self.feature.append(-1)
         self.bin_threshold.append(0)
@@ -57,22 +87,63 @@ class Tree:
         self.right.append(-1)
         self.value.append(0.0)
         self.gain.append(0.0)
+        self._invalidate()
         return len(self.feature) - 1
+
+    def _set_split(
+        self,
+        node: int,
+        feature: int,
+        bin_threshold: int,
+        threshold: float,
+        left: int,
+        right: int,
+        gain: float,
+    ) -> None:
+        """Turn a leaf into an internal node (cache-invalidating)."""
+        self.feature[node] = feature
+        self.bin_threshold[node] = bin_threshold
+        self.threshold[node] = threshold
+        self.left[node] = left
+        self.right[node] = right
+        self.gain[node] = gain
+        self._invalidate()
+
+    def _set_value(self, node: int, value: float) -> None:
+        """Assign a node's leaf value (cache-invalidating)."""
+        self.value[node] = value
+        self._invalidate()
 
     @property
     def n_leaves(self) -> int:
-        """Number of leaf nodes."""
-        return sum(1 for f in self.feature if f == -1)
+        """Number of leaf nodes (cached; recounted only after mutation)."""
+        count = self._n_leaves
+        if count is None:
+            count = int((self._materialise()[0] == -1).sum())
+            self._n_leaves = count
+        return count
+
+    def max_depth(self) -> int:
+        """Longest root-to-leaf edge count (0 for a single-leaf tree)."""
+        if not self.feature:
+            return 0
+        depth = [0] * len(self.feature)
+        deepest = 0
+        # Children are appended after their parent, so one forward pass
+        # sees every parent before its children.
+        for i, f in enumerate(self.feature):
+            if f >= 0:
+                child_depth = depth[i] + 1
+                depth[self.left[i]] = child_depth
+                depth[self.right[i]] = child_depth
+                deepest = max(deepest, child_depth)
+        return deepest
 
     def predict_binned(self, binned: np.ndarray) -> np.ndarray:
         """Predict from uint8 bin indices (vectorised level walk)."""
         n = binned.shape[0]
         node = np.zeros(n, dtype=np.int64)
-        feature = np.asarray(self.feature, dtype=np.int64)
-        bin_threshold = np.asarray(self.bin_threshold, dtype=np.int64)
-        left = np.asarray(self.left, dtype=np.int64)
-        right = np.asarray(self.right, dtype=np.int64)
-        value = np.asarray(self.value, dtype=np.float64)
+        feature, bin_threshold, _, left, right, value = self._materialise()
         active = feature[node] >= 0
         while active.any():
             idx = np.nonzero(active)[0]
@@ -87,11 +158,7 @@ class Tree:
         """Predict from raw float features using stored value thresholds."""
         n = X.shape[0]
         node = np.zeros(n, dtype=np.int64)
-        feature = np.asarray(self.feature, dtype=np.int64)
-        threshold = np.asarray(self.threshold, dtype=np.float64)
-        left = np.asarray(self.left, dtype=np.int64)
-        right = np.asarray(self.right, dtype=np.int64)
-        value = np.asarray(self.value, dtype=np.float64)
+        feature, _, threshold, left, right, value = self._materialise()
         active = feature[node] >= 0
         while active.any():
             idx = np.nonzero(active)[0]
@@ -255,8 +322,8 @@ def grow_tree(
         hess_sum=float(hess[sample_idx].sum()),
         depth=0,
     )
-    tree.value[root] = _leaf_value(
-        root_leaf.grad_sum, root_leaf.hess_sum, params.lambda_l2
+    tree._set_value(
+        root, _leaf_value(root_leaf.grad_sum, root_leaf.hess_sum, params.lambda_l2)
     )
     _find_best_split(
         root_leaf, binned, grad, hess, n_bins, feature_subset, params
@@ -288,12 +355,10 @@ def grow_tree(
         node = leaf.node
         left_node = tree._new_node()
         right_node = tree._new_node()
-        tree.feature[node] = f
-        tree.bin_threshold[node] = b
-        tree.threshold[node] = mapper.threshold_value(f, b)
-        tree.left[node] = left_node
-        tree.right[node] = right_node
-        tree.gain[node] = leaf.best_gain
+        tree._set_split(
+            node, f, b, mapper.threshold_value(f, b),
+            left_node, right_node, leaf.best_gain,
+        )
         n_leaves += 1
 
         for child_node, child_idx in ((left_node, left_idx), (right_node, right_idx)):
@@ -304,8 +369,9 @@ def grow_tree(
                 hess_sum=float(hess[child_idx].sum()),
                 depth=leaf.depth + 1,
             )
-            tree.value[child_node] = _leaf_value(
-                child.grad_sum, child.hess_sum, params.lambda_l2
+            tree._set_value(
+                child_node,
+                _leaf_value(child.grad_sum, child.hess_sum, params.lambda_l2),
             )
             if len(child_idx) >= 2 * params.min_data_in_leaf:
                 _find_best_split(

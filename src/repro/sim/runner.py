@@ -10,6 +10,7 @@ import numpy as np
 from ..cache import CachePolicy
 from ..obs import get_registry
 from ..trace import Trace
+from .batched import run_batched
 
 __all__ = ["SimResult", "simulate", "record_free_bytes"]
 
@@ -98,6 +99,7 @@ def simulate(
     warmup_fraction: float = 0.2,
     series_window: int = 0,
     on_request: Callable[[int, bool], None] | None = None,
+    batch_size: int = 0,
 ) -> SimResult:
     """Run a policy over a trace and compute hit ratios.
 
@@ -109,6 +111,11 @@ def simulate(
             headline BHR/OHR.
         series_window: if > 0, also compute a windowed BHR series.
         on_request: optional observer called with (index, hit) per request.
+        batch_size: when > 1 and the policy's ``supports_batched_scoring``
+            is true, score requests in speculative lookahead batches via
+            :mod:`repro.sim.batched` — bit-identical hits and free-bytes
+            trajectory, just faster.  0 (default) keeps the scalar loop;
+            the value is a pure performance knob, never a semantic one.
     """
     n = len(trace)
     if n == 0:
@@ -118,12 +125,18 @@ def simulate(
     # CachePolicy and may lack the eviction counter.
     evictions_before = getattr(policy, "n_evictions", 0)
     hits = np.zeros(n, dtype=bool)
+    batched = batch_size > 1 and getattr(
+        policy, "supports_batched_scoring", False
+    )
     with registry.span("sim.request_loop"):
-        for i, request in enumerate(trace):
-            hit = policy.on_request(request)
-            hits[i] = hit
-            if on_request is not None:
-                on_request(i, hit)
+        if batched:
+            run_batched(trace, policy, batch_size, hits, on_request)
+        else:
+            for i, request in enumerate(trace):
+                hit = policy.on_request(request)
+                hits[i] = hit
+                if on_request is not None:
+                    on_request(i, hit)
 
     sizes = trace.sizes
     costs = trace.costs

@@ -1,0 +1,197 @@
+"""Equivalence tests for the arena-backed feature tracker.
+
+The arena rewrite (dense time slab + free-list row recycling) must be
+observationally identical to the straightforward per-object bookkeeping
+it replaced.  A minimal reference implementation lives here, and the
+tests drive both through randomised request streams — including LRU-cap
+churn that forces row recycling, explicit forgets, and slab growth — and
+demand bit-identical feature vectors throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features import MISSING_GAP, FeatureTracker
+from repro.features import tracker as tracker_module
+from repro.trace import Request
+
+
+class ReferenceTracker:
+    """The pre-arena semantics: one ring buffer per tracked object."""
+
+    def __init__(self, n_gaps: int, max_objects: int = 0) -> None:
+        self.n_gaps = n_gaps
+        self.max_objects = max_objects
+        self.state: dict[int, dict] = {}  # insertion order = LRU order
+
+    def features(self, request: Request, free_bytes) -> np.ndarray:
+        vec = np.empty(3 + self.n_gaps)
+        vec[0] = request.size
+        vec[2] = free_bytes
+        st = self.state.get(request.obj)
+        if st is None:
+            vec[1] = request.cost
+            vec[3:] = MISSING_GAP
+            return vec
+        vec[1] = st["cost"]
+        times = st["times"]  # most recent first
+        vec[3:] = MISSING_GAP
+        if times:
+            vec[3] = request.time - times[0]
+            for k in range(1, min(len(times), self.n_gaps)):
+                vec[3 + k] = times[k - 1] - times[k]
+        return vec
+
+    def update(self, request: Request) -> None:
+        st = self.state.pop(request.obj, None)
+        if st is None:
+            st = {"times": [], "cost": 0.0}
+        st["times"] = ([request.time] + st["times"])[: self.n_gaps + 1]
+        st["cost"] = request.cost
+        self.state[request.obj] = st
+        if self.max_objects and len(self.state) > self.max_objects:
+            oldest = next(iter(self.state))
+            del self.state[oldest]
+
+    def forget(self, obj: int) -> None:
+        self.state.pop(obj, None)
+
+
+def request_stream(n, n_objects, seed):
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    for _ in range(n):
+        t += float(rng.exponential(1.0))
+        obj = int(rng.integers(0, n_objects))
+        size = int(rng.integers(1, 100))
+        yield Request(t, obj, size, float(rng.uniform(0.5, 20.0))), rng
+
+
+@pytest.mark.parametrize(
+    "max_objects,n_gaps", [(0, 50), (16, 50), (5, 7), (0, 3)]
+)
+def test_bit_identical_to_reference_under_churn(max_objects, n_gaps):
+    tracker = FeatureTracker(n_gaps=n_gaps, max_objects=max_objects)
+    reference = ReferenceTracker(n_gaps=n_gaps, max_objects=max_objects)
+    rng = np.random.default_rng(max_objects * 101 + n_gaps)
+    t = 0.0
+    for i in range(4000):
+        t += float(rng.exponential(1.0))
+        request = Request(
+            t, int(rng.integers(0, 60)), int(rng.integers(1, 100)),
+            float(rng.uniform(0.5, 20.0)),
+        )
+        free = int(rng.integers(0, 10_000))
+        got = tracker.features(request, free)
+        want = reference.features(request, free)
+        assert np.array_equal(got, want), f"diverged at request {i}"
+        tracker.update(request)
+        reference.update(request)
+        if rng.random() < 0.01:
+            victim = int(rng.integers(0, 60))
+            tracker.forget(victim)
+            reference.forget(victim)
+    assert tracker.n_tracked == len(reference.state)
+
+
+def test_slab_growth_preserves_state(monkeypatch):
+    """Force repeated arena doubling and check history survives each one."""
+    monkeypatch.setattr(tracker_module, "_INITIAL_CAPACITY", 4)
+    tracker = FeatureTracker(n_gaps=4)
+    reference = ReferenceTracker(n_gaps=4)
+    for i in range(200):
+        request = Request(float(i), i % 37, 10)
+        assert np.array_equal(
+            tracker.features(request, 0), reference.features(request, 0)
+        )
+        tracker.update(request)
+        reference.update(request)
+    assert tracker.n_tracked == 37
+
+
+def test_recycled_rows_start_clean():
+    """A row freed by the LRU cap must not leak its history to the next
+    object allocated into it."""
+    tracker = FeatureTracker(n_gaps=3, max_objects=1)
+    for t in range(5):
+        tracker.update(Request(float(t), 1, 10))
+    tracker.update(Request(5.0, 2, 10))  # evicts object 1, recycles its row
+    vec = tracker.features(Request(6.0, 2, 10), free_bytes=0)
+    assert vec[3] == 1.0
+    assert (vec[4:] == MISSING_GAP).all()
+
+
+def test_last_evicted_reported():
+    tracker = FeatureTracker(n_gaps=2, max_objects=2)
+    tracker.update(Request(0.0, 1, 10))
+    assert tracker.last_evicted is None
+    tracker.update(Request(1.0, 2, 10))
+    tracker.update(Request(2.0, 3, 10))
+    assert tracker.last_evicted == 1
+    tracker.update(Request(3.0, 3, 10))
+    assert tracker.last_evicted is None
+
+
+class TestFeaturesBatch:
+    def _warm(self, n_gaps=5, max_objects=0, seed=11, n=500):
+        tracker = FeatureTracker(n_gaps=n_gaps, max_objects=max_objects)
+        rng = np.random.default_rng(seed)
+        t = 0.0
+        for _ in range(n):
+            t += float(rng.exponential(1.0))
+            tracker.update(
+                Request(t, int(rng.integers(0, 40)), int(rng.integers(1, 50)))
+            )
+        return tracker, rng, t
+
+    def test_probe_matches_scalar_extraction(self):
+        tracker, rng, t = self._warm()
+        batch = [
+            Request(t + i, int(rng.integers(0, 60)), int(rng.integers(1, 50)))
+            for i in range(64)
+        ]
+        X = tracker.features_batch(batch, 777)
+        for i, request in enumerate(batch):
+            assert np.array_equal(X[i], tracker.features(request, 777))
+
+    def test_probe_per_row_free_bytes(self):
+        tracker, rng, t = self._warm()
+        batch = [Request(t + i, i % 40, 10) for i in range(16)]
+        free = np.arange(16, dtype=np.float64) * 100
+        X = tracker.features_batch(batch, free)
+        assert np.array_equal(X[:, 2], free)
+        for i, request in enumerate(batch):
+            assert np.array_equal(X[i], tracker.features(request, free[i]))
+
+    def test_probe_does_not_mutate_state(self):
+        tracker, rng, t = self._warm()
+        before = tracker.n_tracked
+        tracker.features_batch([Request(t + 1, 9999, 10)], 0)
+        assert tracker.n_tracked == before
+
+    def test_update_mode_matches_sequential_loop(self):
+        tracker_a, rng, t = self._warm(max_objects=8, seed=5)
+        tracker_b, _, _ = self._warm(max_objects=8, seed=5)
+        batch = [
+            Request(t + i * 0.5, int(i % 12), 10 + i) for i in range(40)
+        ]
+        free = np.linspace(0, 4000, 40)
+        X = tracker_a.features_batch(batch, free, update=True)
+        for i, request in enumerate(batch):
+            expected = tracker_b.features(request, free[i])
+            tracker_b.update(request)
+            assert np.array_equal(X[i], expected), f"row {i}"
+        assert tracker_a.n_tracked == tracker_b.n_tracked
+
+    def test_unknown_objects_all_missing(self):
+        tracker = FeatureTracker(n_gaps=4)
+        X = tracker.features_batch([Request(1.0, 5, 30, 2.5)], 100)
+        assert X[0, 0] == 30
+        assert X[0, 1] == 2.5
+        assert X[0, 2] == 100
+        assert (X[0, 3:] == MISSING_GAP).all()
+
+    def test_empty_batch(self):
+        tracker = FeatureTracker(n_gaps=4)
+        X = tracker.features_batch([], 0)
+        assert X.shape == (0, tracker.n_features)

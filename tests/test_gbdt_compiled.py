@@ -1,0 +1,188 @@
+"""Tests for the compiled (flattened) GBDT inference path.
+
+The contract under test: the flattened predictor agrees with the
+reference tree-walk to 1e-12 (bit-identical on the C kernel), single-row
+and batch scoring agree bit-for-bit within a backend, and both backends
+survive pickling.  These identities are what the batched simulator and
+the throughput benchmarks build on.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.gbdt import (
+    CompiledPredictor,
+    GBDTClassifier,
+    GBDTParams,
+    kernel_available,
+)
+from repro.gbdt import compiled as compiled_module
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """A fitted classifier plus train-like and off-manifold eval rows."""
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(600, 8))
+    y = (X[:, 0] + 0.5 * X[:, 3] * X[:, 1] > 0).astype(np.float64)
+    clf = GBDTClassifier(GBDTParams(num_iterations=12, num_leaves=15, seed=3))
+    clf.fit(X, y)
+    X_eval = np.vstack([X[:100], rng.normal(scale=4.0, size=(100, 8))])
+    return clf, X_eval
+
+
+@pytest.fixture
+def numpy_backend(monkeypatch):
+    """Force the portable numpy backend for freshly built predictors."""
+    monkeypatch.setattr(compiled_module, "_kernel_state", False)
+
+
+def fresh_compiled(clf) -> CompiledPredictor:
+    """A predictor built after any backend monkeypatching."""
+    return CompiledPredictor.from_ensemble(
+        clf.trees, clf.init_score, clf.params.learning_rate, clf.n_features
+    )
+
+
+class TestAgainstReference:
+    def test_matches_reference_to_1e12(self, fitted):
+        clf, X_eval = fitted
+        reference = clf.predict_raw(X_eval)
+        np.testing.assert_allclose(
+            fresh_compiled(clf).predict_raw(X_eval), reference,
+            rtol=0.0, atol=1e-12,
+        )
+
+    def test_kernel_backend_bit_identical(self, fitted):
+        if not kernel_available():
+            pytest.skip("no C toolchain in this environment")
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        assert predictor.backend == "kernel"
+        # Same accumulation order as the reference loop → exact equality.
+        assert np.array_equal(predictor.predict_raw(X_eval), clf.predict_raw(X_eval))
+
+    def test_numpy_backend_matches(self, fitted, numpy_backend):
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        assert predictor.backend == "numpy"
+        np.testing.assert_allclose(
+            predictor.predict_raw(X_eval), clf.predict_raw(X_eval),
+            rtol=0.0, atol=1e-12,
+        )
+
+    def test_proba_matches_reference(self, fitted):
+        clf, X_eval = fitted
+        np.testing.assert_allclose(
+            fresh_compiled(clf).predict_proba(X_eval),
+            clf.predict_proba(X_eval),
+            rtol=0.0, atol=1e-12,
+        )
+
+    def test_random_unfitted_ensemble_roundtrip(self):
+        """A hand-grown stump ensemble scores exactly as summed by hand."""
+        from repro.gbdt.tree import Tree
+
+        tree = Tree()
+        root = tree._new_node()
+        left = tree._new_node()
+        right = tree._new_node()
+        tree._set_split(root, feature=1, bin_threshold=0, threshold=0.5,
+                        left=left, right=right, gain=1.0)
+        tree._set_value(left, -1.0)
+        tree._set_value(right, 2.0)
+        predictor = CompiledPredictor.from_ensemble(
+            [tree], init_score=0.25, learning_rate=0.1, n_features=3
+        )
+        X = np.array([[0.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        np.testing.assert_allclose(
+            predictor.predict_raw(X), [0.25 - 0.1, 0.25 + 0.2],
+            rtol=0.0, atol=1e-15,
+        )
+
+
+class TestSingleVsBatch:
+    def test_single_equals_batch_bitwise(self, fitted):
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        batch = predictor.predict_raw(X_eval[:32])
+        for i in range(32):
+            assert predictor.predict_raw_single(X_eval[i]) == batch[i]
+
+    def test_proba_single_equals_batch_bitwise(self, fitted):
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        batch = predictor.predict_proba(X_eval[:32])
+        for i in range(32):
+            assert predictor.predict_proba_single(X_eval[i]) == batch[i]
+
+    def test_single_equals_batch_on_numpy_backend(self, fitted, numpy_backend):
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        batch = predictor.predict_raw(X_eval[:16])
+        for i in range(16):
+            assert predictor.predict_raw_single(X_eval[i]) == batch[i]
+
+    def test_one_dim_input_promoted(self, fitted):
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        out = predictor.predict_raw(X_eval[0])
+        assert out.shape == (1,)
+
+    def test_wrong_width_rejected(self, fitted):
+        clf, _ = fitted
+        with pytest.raises(ValueError, match="features"):
+            fresh_compiled(clf).predict_raw(np.zeros((2, 5)))
+
+
+class TestLifecycle:
+    def test_classifier_caches_compiled(self, fitted):
+        clf, _ = fitted
+        assert clf.compiled() is clf.compiled()
+
+    def test_refit_invalidates_cache(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] > 0).astype(np.float64)
+        clf = GBDTClassifier(GBDTParams(num_iterations=3, seed=1))
+        clf.fit(X, y)
+        first = clf.compiled()
+        clf.fit(X, 1.0 - y)
+        assert clf.compiled() is not first
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GBDTClassifier(GBDTParams()).compiled()
+
+    def test_pickle_roundtrip_identical(self, fitted):
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        before = predictor.predict_raw(X_eval)
+        clone = pickle.loads(pickle.dumps(predictor))
+        assert np.array_equal(clone.predict_raw(X_eval), before)
+        assert clone.predict_raw_single(X_eval[0]) == before[0]
+
+
+class TestFeatureThresholds:
+    def test_sorted_unique(self, fitted):
+        clf, _ = fitted
+        for f in range(clf.n_features):
+            thr = fresh_compiled(clf).feature_thresholds(f)
+            assert np.array_equal(thr, np.unique(thr))
+
+    def test_within_bucket_values_score_identically(self, fitted):
+        """The speculation invariant: two values between the same pair of
+        consecutive thresholds take identical tree paths."""
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        feature = 0
+        thr = predictor.feature_thresholds(feature)
+        assert len(thr) > 0
+        row = X_eval[0].copy()
+        lo, hi = thr[0], thr[1] if len(thr) > 1 else thr[0] + 1.0
+        a, b = row.copy(), row.copy()
+        a[feature] = lo + 0.25 * (hi - lo)
+        b[feature] = lo + 0.75 * (hi - lo)
+        assert predictor.predict_raw_single(a) == predictor.predict_raw_single(b)

@@ -1,0 +1,143 @@
+"""Equivalence gate for the batched (speculative) scoring engine.
+
+``simulate(..., batch_size=N)`` must be a pure performance knob: for
+every supported policy the per-request ``hits`` vector — and therefore
+every hit ratio — must equal the scalar loop's exactly, at every batch
+size, including under tracker-state churn.  Policies that don't support
+batching must silently fall back to the scalar loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import CachePolicy, LRUCache
+from repro.core import LFOCache, LFOModel, LFOOnline
+from repro.core.pipeline import prepare_windows
+from repro.features import FeatureTracker
+from repro.obs import MetricsRegistry, use_registry
+from repro.sim import simulate
+from repro.trace import SyntheticConfig, Trace, generate_trace
+
+CACHE_SIZE = 60_000
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """A trained model plus the unseen tail of the trace it came from."""
+    trace = generate_trace(
+        SyntheticConfig(
+            n_requests=9000, n_objects=500, size_median=20,
+            size_sigma=1.0, size_max=400, seed=29,
+        )
+    )
+    windows = prepare_windows(
+        trace, cache_size=CACHE_SIZE, train_size=4000, test_size=500
+    )
+    model = LFOModel.train(windows.train)
+    tail = Trace(requests=trace.requests[4500:])
+    return model, tail
+
+
+def run(tail, policy, batch_size):
+    return simulate(tail, policy, batch_size=batch_size)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("batch_size", [2, 16, 128, 1024])
+    def test_lfo_hits_identical(self, setup, batch_size):
+        model, tail = setup
+        scalar = run(tail, LFOCache(CACHE_SIZE, model=model), 0)
+        batched = run(tail, LFOCache(CACHE_SIZE, model=model), batch_size)
+        assert np.array_equal(scalar.hits, batched.hits)
+        assert scalar.bhr == batched.bhr
+        assert scalar.ohr == batched.ohr
+
+    def test_capped_tracker_identical(self, setup):
+        """The tracker's LRU cap recycles rows mid-window; the dirty-set
+        invalidation must catch evicted objects too."""
+        model, tail = setup
+
+        def policy():
+            return LFOCache(
+                CACHE_SIZE, model=model,
+                tracker=FeatureTracker(n_gaps=50, max_objects=64),
+            )
+
+        scalar = run(tail, policy(), 0)
+        batched = run(tail, policy(), 256)
+        assert np.array_equal(scalar.hits, batched.hits)
+
+    def test_lru_eviction_variant_identical(self, setup):
+        model, tail = setup
+        scalar = run(tail, LFOCache(CACHE_SIZE, model=model, eviction="lru"), 0)
+        batched = run(
+            tail, LFOCache(CACHE_SIZE, model=model, eviction="lru"), 128
+        )
+        assert np.array_equal(scalar.hits, batched.hits)
+
+    def test_batch_size_one_is_scalar(self, setup):
+        model, tail = setup
+        a = run(tail, LFOCache(CACHE_SIZE, model=model), 1)
+        b = run(tail, LFOCache(CACHE_SIZE, model=model), 0)
+        assert np.array_equal(a.hits, b.hits)
+
+    def test_on_request_callback_sees_every_request(self, setup):
+        model, tail = setup
+        seen = []
+        simulate(
+            tail, LFOCache(CACHE_SIZE, model=model), batch_size=64,
+            on_request=lambda i, hit: seen.append((i, hit)),
+        )
+        assert [i for i, _ in seen] == list(range(len(tail)))
+
+
+class TestFallbacks:
+    def test_lru_unaffected_by_batch_size(self, setup):
+        _, tail = setup
+        a = run(tail, LRUCache(CACHE_SIZE), 512)
+        b = run(tail, LRUCache(CACHE_SIZE), 0)
+        assert np.array_equal(a.hits, b.hits)
+
+    def test_rescore_interval_opts_out(self, setup):
+        model, tail = setup
+        policy = LFOCache(CACHE_SIZE, model=model, rescore_interval=100)
+        assert not policy.supports_batched_scoring
+        a = run(tail, policy, 256)
+        b = run(
+            tail, LFOCache(CACHE_SIZE, model=model, rescore_interval=100), 0
+        )
+        assert np.array_equal(a.hits, b.hits)
+
+
+class TestSupportFlags:
+    def test_base_policy_opts_out(self):
+        assert not LRUCache(100).supports_batched_scoring
+        assert isinstance(LRUCache(100), CachePolicy)
+
+    def test_lfo_requires_model(self):
+        assert not LFOCache(100).supports_batched_scoring
+
+    def test_lfo_with_static_model_opts_in(self, setup):
+        model, _ = setup
+        assert LFOCache(100, model=model).supports_batched_scoring
+
+    def test_online_opts_out(self, setup):
+        model, _ = setup
+        online = LFOOnline(CACHE_SIZE, window=1000)
+        assert not online.supports_batched_scoring
+        online.set_model(model)
+        assert not online.supports_batched_scoring
+
+
+class TestObservability:
+    def test_batch_counters_recorded(self, setup):
+        model, tail = setup
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            run(tail, LFOCache(CACHE_SIZE, model=model), 128)
+        snapshot = registry.to_dict()
+        assert snapshot["histograms"]["sim.batch_rows"]["count"] > 0
+        assert (
+            snapshot["histograms"]["features.batch_extract_seconds"]["count"]
+            > 0
+        )
