@@ -25,6 +25,7 @@ from .core import (
     LFOModel,
     LFOOnline,
     OptLabelConfig,
+    SampledEvictionConfig,
     TieredLFOOnline,
     prepare_windows,
     train_and_evaluate,
@@ -58,6 +59,7 @@ __all__ = [
     "LFOModel",
     "LFOOnline",
     "OptLabelConfig",
+    "SampledEvictionConfig",
     "prepare_windows",
     "train_and_evaluate",
     "MetricsRegistry",

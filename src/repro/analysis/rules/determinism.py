@@ -17,12 +17,15 @@ from ..base import FileContext, Rule, dotted_name
 
 __all__ = ["DeterminismRngRule", "DeterminismWallClockRule"]
 
-#: Modules whose outputs must be reproducible run-to-run.
+#: Modules whose outputs must be reproducible run-to-run.  ``repro.core``
+#: joined when sampled eviction landed: the eviction sampler's candidate
+#: draws decide victim sequences, so its RNG must be a seeded Generator.
 DETERMINISTIC_SCOPES = (
     "repro.sim",
     "repro.opt",
     "repro.gbdt",
     "repro.features",
+    "repro.core",
     "repro.trace.synthetic",
     "benchmarks",
 )
@@ -69,7 +72,7 @@ class DeterminismRngRule(_ScopedRule):
 
     rule_id = "det-rng"
     summary = (
-        "sim/opt/gbdt/trace.synthetic and benchmarks must draw randomness "
+        "sim/opt/gbdt/features/core/trace.synthetic and benchmarks must draw randomness "
         "from an explicitly seeded np.random.Generator, never the stdlib "
         "`random` module, the np.random legacy singleton, or an unseeded "
         "default_rng()"
@@ -147,7 +150,7 @@ class DeterminismWallClockRule(_ScopedRule):
 
     rule_id = "det-wallclock"
     summary = (
-        "sim/opt/gbdt/trace.synthetic and benchmarks must not read the wall "
+        "sim/opt/gbdt/features/core/trace.synthetic and benchmarks must not read the wall "
         "clock (time.time, datetime.now, ...); use the trace's logical "
         "timestamps or an injected clock (monotonic perf_counter timing for "
         "observability is fine)"

@@ -35,6 +35,7 @@ class CachePolicy(ABC):
         self.used_bytes = 0
         self.n_evictions = 0
         self._entries: dict[int, int] = {}  # obj -> size
+        self._costs: dict[int, float] = {}  # obj -> last retrieval cost
 
     # -- public API ---------------------------------------------------------
 
@@ -59,9 +60,14 @@ class CachePolicy(ABC):
         """True when the object is resident."""
         return obj in self._entries
 
+    def entry_cost(self, obj: int) -> float | None:
+        """Latest observed retrieval cost of a resident object, or None."""
+        return self._costs.get(obj)
+
     def on_request(self, request: Request) -> bool:
         """Process one request; returns True on a cache hit."""
         if request.obj in self._entries:
+            self._costs[request.obj] = request.cost
             self._on_hit(request)
             return True
         self._on_miss_observed(request)
@@ -77,20 +83,33 @@ class CachePolicy(ABC):
     def _evict_until_fits(self, request: Request) -> bool:
         """Evict victims until ``request`` fits; True on success.
 
-        When the policy refuses mid-plan (``_select_victim`` returns None
-        with the object still not fitting), the incoming request is
-        bypassed and every victim already removed is reinstated via
-        :meth:`_restore` — a bypass must never shrink the resident set.
+        Victims come from :meth:`_select_victims`, which may return a
+        multi-victim *plan* (e.g. one sampled-and-scored candidate batch
+        covering several evictions); the plan is consumed in order and
+        only as far as needed, and a fresh plan is requested when it runs
+        out.  When the policy refuses (an empty plan with the object still
+        not fitting), the incoming request is bypassed and every victim
+        already removed is reinstated via :meth:`_restore`, original
+        retrieval cost included — a bypass must never shrink the resident
+        set or corrupt cost-aware priorities.
         """
-        evicted: list[tuple[int, int]] = []
+        evicted: list[tuple[int, int, float]] = []
         while self.used_bytes + request.size > self.cache_size:
-            victim = self._select_victim(request)
-            if victim is None:
-                for obj, size in reversed(evicted):
-                    self._restore(obj, size, request)
+            progressed = False
+            for victim in self._select_victims(request):
+                if self.used_bytes + request.size <= self.cache_size:
+                    break
+                size = self._entries.get(victim)
+                if size is None:
+                    continue  # plan entry went stale mid-plan
+                cost = self._costs.get(victim, float(size))
+                evicted.append((victim, size, cost))
+                self._remove(victim)
+                progressed = True
+            if not progressed:
+                for obj, size, cost in reversed(evicted):
+                    self._restore(obj, size, request, cost)
                 return False
-            evicted.append((victim, self._entries[victim]))
-            self._remove(victim)
         # Only completed plans count: restored victims were never evicted.
         self.n_evictions += len(evicted)
         return True
@@ -100,6 +119,7 @@ class CachePolicy(ABC):
         self.used_bytes = 0
         self.n_evictions = 0
         self._entries.clear()
+        self._costs.clear()
         self._reset_policy_state()
 
     # -- hooks for subclasses ----------------------------------------------
@@ -121,27 +141,56 @@ class CachePolicy(ABC):
     def _select_victim(self, incoming: Request) -> int | None:
         """Pick a resident object id to evict, or None to bypass instead."""
 
+    def _select_victims(self, incoming: Request) -> list[int]:
+        """Victim *plan* for one :meth:`_evict_until_fits` round.
+
+        The default wraps :meth:`_select_victim` (one victim per round;
+        an empty list means "refuse: bypass the incoming request").
+        Policies that amortise victim selection — e.g. sampled eviction,
+        which scores a whole candidate batch in one predictor call —
+        override this to return several victims in eviction order; the
+        driver consumes only as many as the incoming request needs.
+        """
+        victim = self._select_victim(incoming)
+        return [] if victim is None else [victim]
+
     def _insert(self, request: Request) -> None:
         """Insert an admitted object (subclasses extend for their state)."""
         self._entries[request.obj] = request.size
         self.used_bytes += request.size
+        self._costs[request.obj] = request.cost
 
     def _remove(self, obj: int) -> None:
         """Remove a resident object (subclasses extend for their state)."""
         size = self._entries.pop(obj)
         self.used_bytes -= size
+        self._costs.pop(obj, None)
 
-    def _restore(self, obj: int, size: int, incoming: Request) -> None:
+    def _restore(
+        self,
+        obj: int,
+        size: int,
+        incoming: Request,
+        cost: float | None = None,
+    ) -> None:
         """Reinstate a victim removed by an aborted eviction plan.
 
         The default rebuilds the entry through :meth:`_insert` with a
-        synthesized request at the incoming request's timestamp, so policy
-        metadata is refreshed (e.g. the object returns at the MRU end, and
-        cost-aware priorities fall back to ``cost == size``) rather than
-        preserved exactly; subclasses with richer state can override for a
-        closer undo.
+        synthesized request at the incoming request's timestamp carrying
+        the victim's true retrieval cost (``cost``; falls back to
+        ``cost == size`` when unknown), so policy metadata is refreshed
+        (e.g. the object returns at the MRU end) without corrupting
+        cost-aware priorities like GDSF's ``freq * cost / size``;
+        subclasses with richer state can override for a closer undo.
         """
-        self._insert(Request(incoming.time, obj, size))
+        self._insert(
+            Request(
+                incoming.time,
+                obj,
+                size,
+                float(size) if cost is None else cost,
+            )
+        )
 
     def _reset_policy_state(self) -> None:
         """Clear subclass state on :meth:`reset` (default: nothing)."""

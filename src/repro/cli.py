@@ -14,10 +14,13 @@ stays pipeable.  ``--metrics-out PATH`` (on ``simulate``, ``compare`` and
 ``experiment``) installs a :class:`repro.obs.MetricsRegistry` for the run
 and writes its snapshot — request counters, per-stage histograms, and the
 retraining span tree — plus the run's result as one JSON document.
-``simulate`` additionally takes the resilience knobs ``--fault-plan``,
-``--staleness-limit`` and ``--retry-backoff``, and every trace-reading
-subcommand accepts ``--tolerant-trace`` (skip-and-count malformed lines);
-see docs/robustness.md for the operations runbook.
+``simulate`` additionally takes the eviction-engine knobs ``--eviction
+sampled --evict-sample-k K`` (minimal-overhead sampled-candidate
+eviction, see docs/architecture.md "Eviction at scale") and the
+resilience knobs ``--fault-plan``, ``--staleness-limit`` and
+``--retry-backoff``, and every trace-reading subcommand accepts
+``--tolerant-trace`` (skip-and-count malformed lines); see
+docs/robustness.md for the operations runbook.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ import sys
 from contextlib import nullcontext
 from typing import Sequence
 
-from .core import LFOOnline, OptLabelConfig
+from .core import LFOOnline, OptLabelConfig, SampledEvictionConfig
 from .obs import MetricsRegistry, get_registry, use_registry
 from .opt import opt_bhr_bounds, solve_segmented
 from .resilience import FaultPlan, use_fault_plan
@@ -200,6 +203,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             label_config=OptLabelConfig(
                 mode=args.label_mode, segment_length=args.segment
             ),
+            eviction=args.eviction,
+            sampled=SampledEvictionConfig(
+                k=args.evict_sample_k, seed=args.evict_sample_seed
+            ),
             staleness_limit=args.staleness_limit,
             retry_backoff=args.retry_backoff,
         )
@@ -347,6 +354,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--label-mode", default="segmented",
                        choices=("exact", "segmented", "pruned"))
     p_sim.add_argument("--warmup", type=float, default=0.25)
+    p_sim.add_argument("--eviction", default="likelihood",
+                       choices=("likelihood", "lru", "sampled"),
+                       help="eviction rule: likelihood (paper), lru "
+                            "(admission-only LFO), or sampled (score only "
+                            "K random candidates per eviction — the "
+                            "minimal-overhead engine for large caches)")
+    p_sim.add_argument("--evict-sample-k", type=int, default=64,
+                       help="candidates sampled per eviction plan when "
+                            "--eviction sampled (default 64)")
+    p_sim.add_argument("--evict-sample-seed", type=int, default=0,
+                       help="seed for the eviction candidate sampler")
     p_sim.add_argument("--fault-plan", metavar="PATH", default=None,
                        help="JSON fault plan (repro.resilience.FaultPlan) "
                             "installed for the run — deterministic fault "

@@ -4,7 +4,7 @@ from .cutoff import CutoffSweep, cutoff_sweep, equal_error_cutoff
 from .drift import AdaptiveLFOOnline, DriftDetector
 from .hierarchy import TieredLFOCache, TieredLFOOnline, TierStats
 from .irl import IRLCache, IRLOnline, LinearRewardIRL
-from .lfo import LFOCache, LFOModel
+from .lfo import LFOCache, LFOModel, SampledEvictionConfig
 from .online import LFOOnline, OptLabelConfig
 from .pipeline import (
     AccuracyReport,
@@ -30,6 +30,7 @@ __all__ = [
     "LFOCache",
     "LFOModel",
     "LFOOnline",
+    "SampledEvictionConfig",
     "OptLabelConfig",
     "AccuracyReport",
     "WindowData",

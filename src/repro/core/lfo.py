@@ -12,6 +12,28 @@ top of it:
 
 Before a model is available (cold start), ``LFOCache`` degrades to
 admit-all LRU.
+
+Eviction at scale
+-----------------
+
+Likelihood scores are kept *lazily stale*: an object is re-scored only
+when it is requested (the paper's rule) or when it becomes an eviction
+candidate — never globally.  Two structures keep that cheap at millions
+of resident objects:
+
+* the likelihood heap is *bounded*: every re-rank pushes a superseded
+  tuple, and once stale entries exceed ``stale_compact_ratio`` of the
+  heap it is compacted in place down to the live entries (observable as
+  ``evict.compactions`` / ``evict.heap_stale_ratio``), so heap memory
+  stays O(resident objects) on hit-heavy traffic;
+* ``eviction="sampled"`` (LRB-style, "Learned Cache Eviction Framework
+  with Minimal Overhead") draws ``SampledEvictionConfig.k`` seeded-random
+  resident candidates plus the current heap minimum as a safety
+  candidate, scores only those in one ``features_batch`` + compiled-
+  predictor call (``evict.candidates_scored``), and returns them
+  worst-first as a multi-victim plan — eviction cost is O(k), independent
+  of the resident-set size (``bench_ext_evict`` gates this at 10^6
+  residents).
 """
 
 from __future__ import annotations
@@ -25,9 +47,42 @@ import numpy as np
 from ..features import Dataset, FeatureTracker
 from ..gbdt import GBDTClassifier, GBDTParams
 from ..cache import CachePolicy
+from ..obs import get_registry
 from ..trace import Request
 
-__all__ = ["LFOModel", "LFOCache"]
+__all__ = ["LFOModel", "LFOCache", "SampledEvictionConfig"]
+
+#: Below this heap length compaction is never triggered: rebuilding tiny
+#: heaps buys nothing, and the floor gives tests a hard O(n_objects) bound.
+_COMPACT_MIN_HEAP = 64
+
+
+@dataclass(frozen=True)
+class SampledEvictionConfig:
+    """Tuning knobs for ``LFOCache(eviction="sampled")``.
+
+    Attributes:
+        k: eviction candidates sampled per plan (the LRB paper finds
+            16–64 sufficient; candidates are drawn with replacement and
+            deduplicated, and the heap-minimum safety candidate is added
+            on top, so at most ``k + 1`` objects are scored per plan).
+        seed: seed for the candidate sampler's ``np.random.Generator``
+            (re-seeded on :meth:`LFOCache.reset`, so victim sequences are
+            reproducible run-to-run).
+        stale_compact_ratio: compact the likelihood heap once more than
+            this fraction of its entries is stale (superseded or
+            evicted).  ``0.5`` bounds the heap at ~2x the live entries.
+    """
+
+    k: int = 64
+    seed: int = 0
+    stale_compact_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if not 0.0 < self.stale_compact_ratio < 1.0:
+            raise ValueError("stale_compact_ratio must be in (0, 1)")
 
 
 @dataclass
@@ -107,6 +162,7 @@ class LFOCache(CachePolicy):
         tracker: FeatureTracker | None = None,
         eviction: str = "likelihood",
         rescore_interval: int = 0,
+        sampled: SampledEvictionConfig | None = None,
     ) -> None:
         """Args:
             cache_size: capacity in bytes.
@@ -114,27 +170,41 @@ class LFOCache(CachePolicy):
             n_gaps: gap-feature count of the tracker.
             tracker: optional shared feature state.
             eviction: ``"likelihood"`` (the paper's rule: evict the lowest
-                predicted likelihood) or ``"lru"`` (admission-only LFO — a
-                §5 "policy design" variant).
+                predicted likelihood), ``"lru"`` (admission-only LFO — a
+                §5 "policy design" variant), or ``"sampled"`` (score only
+                K seeded-random candidates per eviction — the
+                minimal-overhead engine for large resident sets, see the
+                module docstring).
             rescore_interval: when > 0, every this-many requests *all*
                 resident objects are re-scored in one vectorised batch, so
                 eviction ranks never go stale (another §5 variant; the
                 paper only re-scores an object when it is requested).
+            sampled: sampling/compaction knobs for ``eviction="sampled"``
+                (defaults apply when None); its ``stale_compact_ratio``
+                governs heap compaction in every eviction mode.
         """
         super().__init__(cache_size)
-        if eviction not in ("likelihood", "lru"):
-            raise ValueError("eviction must be 'likelihood' or 'lru'")
+        if eviction not in ("likelihood", "lru", "sampled"):
+            raise ValueError(
+                "eviction must be 'likelihood', 'lru' or 'sampled'"
+            )
         if rescore_interval < 0:
             raise ValueError("rescore_interval must be >= 0")
         self.model = model
         self.eviction = eviction
         self.rescore_interval = rescore_interval
+        self.sampled_config = sampled or SampledEvictionConfig()
+        self._rng = np.random.default_rng(self.sampled_config.seed)
         self._tracker = tracker or FeatureTracker(n_gaps=n_gaps)
         self._score: dict[int, float] = {}
         self._heap: list[tuple[float, int, int]] = []  # (score, stamp, obj)
         self._stamp: dict[int, int] = {}
         self._counter = 0
         self._lru: OrderedDict[int, None] = OrderedDict()  # cold-start rank
+        #: Residents as a swap-remove list + position map, so the sampler
+        #: can draw uniform candidates in O(k) regardless of cache size.
+        self._resident: list[int] = []
+        self._resident_pos: dict[int, int] = {}
         self._requests_seen = 0
         self._now = 0.0
         self.last_features: np.ndarray | None = None
@@ -162,8 +232,13 @@ class LFOCache(CachePolicy):
 
         Requires a static model (batch scores would go stale across a
         model swap) and no periodic full rescore (whose every-N-requests
-        trigger is entangled with request order).  Subclasses with
-        request-path side effects (e.g. :class:`LFOOnline`) opt out.
+        trigger is entangled with request order).  Sampled eviction stays
+        batchable: its candidate scoring runs inside
+        :meth:`apply_scored` against live tracker/free-bytes state, and
+        its seeded generator advances only on evictions, which the
+        batched engine replays in exactly the scalar order (see
+        :mod:`repro.sim.batched`).  Subclasses with request-path side
+        effects (e.g. :class:`LFOOnline`) opt out.
         """
         return self.model is not None and self.rescore_interval == 0
 
@@ -172,6 +247,34 @@ class LFOCache(CachePolicy):
         self._counter += 1
         self._stamp[obj] = self._counter
         heapq.heappush(self._heap, (score, self._counter, obj))
+        # Bounded-heap discipline: every re-rank leaves a superseded tuple
+        # behind; compact once stale entries dominate (len(_stamp) is
+        # exactly the live-entry count — stamps are popped on removal).
+        heap_len = len(self._heap)
+        if (
+            heap_len >= _COMPACT_MIN_HEAP
+            and heap_len - len(self._stamp)
+            > self.sampled_config.stale_compact_ratio * heap_len
+        ):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        """Drop superseded/evicted heap tuples and re-heapify in place.
+
+        Cost is O(live entries), amortised O(1) per :meth:`_rank` because
+        at least half the heap (at the default ratio) is discarded.
+        """
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("evict.compactions").inc()
+            registry.gauge("evict.heap_stale_ratio").set(
+                1.0 - len(self._stamp) / len(self._heap)
+            )
+        stamps = self._stamp
+        self._heap = [
+            entry for entry in self._heap if stamps.get(entry[2]) == entry[1]
+        ]
+        heapq.heapify(self._heap)
 
     def _rescore_all(self) -> None:
         """Batch-refresh every resident object's likelihood."""
@@ -218,12 +321,17 @@ class LFOCache(CachePolicy):
         hit = request.obj in self._entries
         if hit:
             # Re-evaluate the hit object's likelihood (Section 2.4).
+            self._costs[request.obj] = request.cost
             self._rank(request.obj, score)
             self._lru.move_to_end(request.obj)
-        elif request.size <= self.cache_size and self._should_admit(score):
-            if self._evict_until_fits(request):
-                self._insert(request)
-                self._rank(request.obj, score)
+        else:
+            # Base-class contract: every observed miss reaches the hook,
+            # even when admission is refused or the object cannot fit.
+            self._on_miss_observed(request)
+            if request.size <= self.cache_size and self._should_admit(score):
+                if self._evict_until_fits(request):
+                    self._insert(request)
+                    self._rank(request.obj, score)
         self._tracker.update(request)
         return hit
 
@@ -235,37 +343,106 @@ class LFOCache(CachePolicy):
     def _insert(self, request: Request) -> None:
         super()._insert(request)
         self._lru[request.obj] = None
+        self._resident_pos[request.obj] = len(self._resident)
+        self._resident.append(request.obj)
 
     def _remove(self, obj: int) -> None:
         super()._remove(obj)
         self._score.pop(obj, None)
         self._stamp.pop(obj, None)
         self._lru.pop(obj, None)
+        # O(1) swap-remove keeps the sampler's candidate pool dense.
+        pos = self._resident_pos.pop(obj)
+        last = self._resident.pop()
+        if last != obj:
+            self._resident[pos] = last
+            self._resident_pos[last] = pos
 
-    def _restore(self, obj: int, size: int, incoming: Request) -> None:
+    def _restore(
+        self,
+        obj: int,
+        size: int,
+        incoming: Request,
+        cost: float | None = None,
+    ) -> None:
         # Re-insert and re-rank, otherwise a restored object would be
         # invisible to likelihood eviction (stuck resident forever).
-        super()._restore(obj, size, incoming)
+        super()._restore(obj, size, incoming, cost)
         if self.model is not None:
             probe = Request(self._now, obj, size)
             features = self._tracker.features(probe, self.free_bytes)
             self._rank(obj, self.model.likelihood_single(features))
 
+    def _heap_min(self) -> int | None:
+        """Current valid heap minimum (lazily popping stale tuples)."""
+        heap = self._heap
+        while heap:
+            _, stamp, obj = heap[0]
+            if self._stamp.get(obj) == stamp:
+                return obj
+            heapq.heappop(heap)
+        return None
+
     def _select_victim(self, incoming: Request) -> int | None:
         if self.model is None or self.eviction == "lru":
             return next(iter(self._lru), None)
-        while self._heap:
-            _, stamp, obj = self._heap[0]
-            if obj in self._entries and self._stamp.get(obj) == stamp:
-                return obj
-            heapq.heappop(self._heap)
-        return None
+        return self._heap_min()
+
+    def _select_victims(self, incoming: Request) -> list[int]:
+        if (
+            self.eviction == "sampled"
+            and self.model is not None
+            and self._entries
+        ):
+            return self._sampled_plan()
+        return super()._select_victims(incoming)
+
+    def _sampled_plan(self) -> list[int]:
+        """One sampled-candidate eviction plan, worst (lowest score) first.
+
+        Draws ``k`` uniform resident candidates (with replacement,
+        deduplicated) plus the current heap minimum as a safety candidate
+        — the heap min carries the lowest *lazily stale* score, so a
+        genuinely cold object cannot dodge eviction just by never being
+        sampled.  All candidates are scored in one ``features_batch`` +
+        compiled-predictor call against live tracker state and re-ranked
+        (scored-on-candidacy keeps the heap fresh exactly where it
+        matters).  With ``k >= n_objects`` the plan degenerates to a full
+        fresh rescore of every resident in residency order — the
+        equivalence anchor for the ablation tests.
+        """
+        config = self.sampled_config
+        n = len(self._resident)
+        if config.k >= n:
+            candidates = list(self._entries)
+        else:
+            drawn = self._rng.integers(0, n, size=config.k)
+            picked = dict.fromkeys(self._resident[i] for i in drawn)
+            safety = self._heap_min()
+            if safety is not None:
+                picked[safety] = None
+            candidates = list(picked)
+        probes = [
+            Request(self._now, obj, self._entries[obj]) for obj in candidates
+        ]
+        matrix = self._tracker.features_batch(probes, self.free_bytes)
+        scores = self.model.likelihood(matrix)
+        for obj, score in zip(candidates, scores):
+            self._rank(obj, float(score))
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("evict.candidates_scored").inc(len(candidates))
+        order = np.argsort(scores, kind="stable")
+        return [candidates[i] for i in order]
 
     def _reset_policy_state(self) -> None:
         self._score.clear()
         self._heap.clear()
         self._stamp.clear()
         self._lru.clear()
+        self._resident.clear()
+        self._resident_pos.clear()
+        self._rng = np.random.default_rng(self.sampled_config.seed)
         self._counter = 0
         self._requests_seen = 0
         self._now = 0.0

@@ -69,7 +69,7 @@ from ..opt import (
     solve_segmented_parallel,
 )
 from ..trace import Request, Trace
-from .lfo import LFOCache, LFOModel
+from .lfo import LFOCache, LFOModel, SampledEvictionConfig
 
 __all__ = ["LFOOnline", "OptLabelConfig"]
 
@@ -265,6 +265,7 @@ class LFOOnline(LFOCache):
         min_positive_labels: int = 10,
         eviction: str = "likelihood",
         rescore_interval: int = 0,
+        sampled: SampledEvictionConfig | None = None,
         background: bool = False,
         executor: Executor | None = None,
         train_deadline: int | None = None,
@@ -276,6 +277,7 @@ class LFOOnline(LFOCache):
         super().__init__(
             cache_size, model=None, n_gaps=n_gaps,
             eviction=eviction, rescore_interval=rescore_interval,
+            sampled=sampled,
         )
         if window <= 0:
             raise ValueError("window must be positive")
@@ -654,6 +656,15 @@ class LFOOnline(LFOCache):
         if self._degraded and self.fallback == "lru":
             return next(iter(self._lru), None)
         return super()._select_victim(incoming)
+
+    def _select_victims(self, incoming: Request) -> list[int]:
+        # The staleness fallback outranks sampled eviction: a stale
+        # model's candidate scores are exactly what degraded mode stops
+        # trusting, so victims come from the LRU order until recovery.
+        if self._degraded and self.fallback == "lru":
+            victim = next(iter(self._lru), None)
+            return [] if victim is None else [victim]
+        return super()._select_victims(incoming)
 
     def _install_trained_model(self) -> None:
         """Consume a finished training future; atomic model swap on success."""

@@ -48,6 +48,16 @@ was computed.
 Engaged by ``simulate(..., batch_size=N)`` for policies whose
 ``supports_batched_scoring`` is true (a static model, no periodic
 rescore).  Policies that retrain mid-stream (``LFOOnline``) opt out.
+
+Sampled eviction (``LFOCache(eviction="sampled")``) composes with
+speculation unchanged: candidate sampling and scoring happen inside
+``apply_scored``'s eviction plan, against the *live* tracker and
+free-bytes state at that replay point — identical to the scalar loop —
+and candidate probes are pure reads (``features_batch`` probe mode), so
+they neither dirty speculated rows nor advance tracker state.  The
+sampler's seeded generator is consumed per eviction plan, and plans
+replay in exactly the scalar order, so hits stay bit-identical (pinned
+by ``tests/test_evict_sampled.py``).
 """
 
 from __future__ import annotations

@@ -78,13 +78,25 @@ class DeterminismRngRuleTest(unittest.TestCase):
 
     def test_out_of_scope_module_ignored(self) -> None:
         # repro.cache draws from per-policy seeded RNGs; the determinism
-        # scope is sim/opt/gbdt/trace.synthetic/benchmarks only.
+        # scope covers sim/opt/gbdt/features/core/trace.synthetic and
+        # benchmarks, not the policy zoo.
         self.assertEqual(
             [],
             violations(
                 "import random\n",
                 module="repro.cache.fake",
                 select=["det-rng"],
+            ),
+        )
+
+    def test_core_module_in_scope(self) -> None:
+        # repro.core entered the deterministic scope with sampled
+        # eviction: the candidate sampler's draws decide victim sequences.
+        self.assertIn(
+            "det-rng",
+            violations(
+                "import numpy as np\nrng = np.random.default_rng()\n",
+                module="repro.core.fake",
             ),
         )
 

@@ -120,6 +120,25 @@ class TestPolicyInvariants:
         hits = _drive(policy, drive_trace)
         assert hits.mean() > 0.05
 
+    def test_miss_hook_fires_once_per_miss(self, policy_cls, drive_trace):
+        """Hook contract: every observed miss — refused, oversized, or
+        admitted — reaches ``_on_miss_observed`` exactly once."""
+        policy = policy_cls(cache_size=1000)
+        observed = []
+        original = policy._on_miss_observed
+
+        def patched(request):
+            observed.append(request.obj)
+            original(request)
+
+        policy._on_miss_observed = patched
+        misses = sum(
+            0 if policy.on_request(request) else 1
+            for request in drive_trace[:800]
+        )
+        assert misses > 0
+        assert len(observed) == misses
+
 
 @pytest.mark.parametrize("policy_cls", ALL_POLICIES)
 @given(seed=st.integers(0, 100))
@@ -205,3 +224,58 @@ class TestEvictionAbortRestore:
         policy.on_request(Request(1, 2, 80))  # would need eviction: refused
         assert policy.contains(1) and not policy.contains(2)
         assert policy.used_bytes == 60
+
+
+class _ReluctantGDSF(GDSFCache):
+    """GDSF with an eviction budget, for cost-restore regression tests."""
+
+    def __init__(self, cache_size, budget):
+        super().__init__(cache_size)
+        self.budget = budget
+        self._spent = 0
+
+    def _select_victim(self, incoming):
+        if self._spent >= self.budget:
+            return None
+        self._spent += 1
+        return super()._select_victim(incoming)
+
+    def on_request(self, request):
+        self._spent = 0
+        return super().on_request(request)
+
+
+class TestRestorePreservesCost:
+    """Regression: an aborted plan used to restore victims with
+    ``cost == size``, silently corrupting cost-aware priorities like
+    GDSF's ``freq * cost / size``."""
+
+    def test_base_restore_keeps_original_cost(self):
+        policy = _ReluctantLRU(cache_size=100, budget=1)
+        policy.on_request(Request(0, 1, 60, cost=900.0))
+        policy.on_request(Request(1, 2, 40, cost=7.0))
+        assert policy.entry_cost(1) == 900.0
+        policy.on_request(Request(2, 3, 80))  # aborted after evicting 1
+        assert policy.contains(1) and policy.contains(2)
+        assert policy.entry_cost(1) == 900.0
+        assert policy.entry_cost(2) == 7.0
+
+    def test_hit_refreshes_tracked_cost(self):
+        policy = LRUCache(cache_size=100)
+        policy.on_request(Request(0, 1, 60, cost=900.0))
+        policy.on_request(Request(1, 1, 60, cost=5.0))
+        assert policy.entry_cost(1) == 5.0
+
+    def test_gdsf_priority_survives_abort(self):
+        policy = _ReluctantGDSF(cache_size=100, budget=1)
+        policy.on_request(Request(0, 1, 60, cost=900.0))
+        # Cheap-to-fetch object: cost/size = 0.25 makes it the victim.
+        policy.on_request(Request(1, 2, 40, cost=10.0))
+        policy.on_request(Request(2, 3, 90))  # needs both: aborted
+        assert policy.contains(1) and policy.contains(2)
+        assert policy.entry_cost(1) == 900.0
+        assert policy.entry_cost(2) == 10.0
+        # The restored priority is rebuilt from the *true* cost (age bumped
+        # to the victim's 0.25 on eviction, freq restarts at 1): the old
+        # size-fallback restore would have produced age + 1.0 instead.
+        assert policy._prio[2] == pytest.approx(0.25 + 10.0 / 40)

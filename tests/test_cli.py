@@ -88,6 +88,21 @@ class TestSimulate:
         assert "BHR" in out
         assert "retrains" in out
 
+    def test_sampled_eviction_flags(self, trace_file, capsys):
+        assert main([
+            "simulate", trace_file, "--cache-fraction", "10",
+            "--window", "1000", "--segment", "500",
+            "--eviction", "sampled", "--evict-sample-k", "16",
+            "--evict-sample-seed", "5",
+        ]) == 0
+        assert "BHR" in capsys.readouterr().out
+
+    def test_invalid_eviction_flag_rejected(self, trace_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "simulate", trace_file, "--eviction", "frobnicate",
+            ])
+
 
 class TestMetricsOut:
     def test_simulate_writes_snapshot(self, trace_file, tmp_path, capsys):

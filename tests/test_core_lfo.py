@@ -192,6 +192,78 @@ class TestLFOVariants:
             assert 0 <= policy.used_bytes <= 150
 
 
+class TestHeapBounded:
+    """Regression: hit-heavy traffic used to grow the likelihood heap
+    without bound (one stale tuple per re-rank, never reclaimed)."""
+
+    def test_heap_stays_proportional_to_residents(self):
+        from repro.core.lfo import _COMPACT_MIN_HEAP
+
+        model = _toy_model(cutoff=0.0, n_gaps=4)
+        policy = LFOCache(cache_size=10_000, model=model, n_gaps=4)
+        for t in range(5000):
+            policy.on_request(Request(float(t), t % 25, 10))
+            live = len(policy._stamp)
+            assert len(policy._heap) <= max(_COMPACT_MIN_HEAP, 2 * live + 1)
+        assert policy.n_objects == 25
+
+    def test_compaction_preserves_victim_choice(self):
+        model = _toy_model(cutoff=0.0, n_gaps=4)
+        policy = LFOCache(cache_size=10_000, model=model, n_gaps=4)
+        for t in range(500):
+            policy.on_request(Request(float(t), t % 10, 10))
+        before = policy._heap_min()
+        policy._compact_heap()
+        assert policy._heap_min() == before
+        assert len(policy._heap) == len(policy._stamp)
+
+
+class TestMissHookParity:
+    """``apply_scored`` must honour the base-class miss-observation
+    contract (regression: LFO skipped ``_on_miss_observed`` entirely)."""
+
+    def _observing(self, policy):
+        observed = []
+        original = type(policy)._on_miss_observed
+
+        def patched(self_, request):
+            observed.append(request.obj)
+            original(self_, request)
+
+        policy._on_miss_observed = patched.__get__(policy)
+        return observed
+
+    def _assert_one_call_per_miss(self, policy):
+        observed = self._observing(policy)
+        rng = np.random.default_rng(17)
+        sizes = {}
+        misses = 0
+        for t in range(500):
+            obj = int(rng.integers(0, 60))
+            size = sizes.setdefault(obj, int(rng.integers(1, 80)))
+            if not policy.on_request(Request(float(t), obj, size)):
+                misses += 1
+        assert misses > 0
+        assert len(observed) == misses
+
+    def test_model_mode_observes_every_miss(self):
+        model = _toy_model(n_gaps=4)
+        self._assert_one_call_per_miss(
+            LFOCache(cache_size=300, model=model, n_gaps=4)
+        )
+
+    def test_cold_start_observes_every_miss(self):
+        self._assert_one_call_per_miss(LFOCache(cache_size=300, n_gaps=4))
+
+    def test_refused_admission_still_observed(self):
+        model = _toy_model(n_gaps=4)  # rejects large objects
+        policy = LFOCache(cache_size=1000, model=model, n_gaps=4)
+        observed = self._observing(policy)
+        policy.on_request(Request(0, 1, 90))  # rejected by the model
+        assert not policy.contains(1)
+        assert observed == [1]
+
+
 class TestEvictionAbortRestore:
     """LFO shares the base eviction plan: an aborted plan restores victims
     *and* re-ranks them so they stay visible to likelihood eviction."""
