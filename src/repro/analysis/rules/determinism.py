@@ -27,6 +27,10 @@ DETERMINISTIC_SCOPES = (
     "repro.features",
     "repro.core",
     "repro.trace.synthetic",
+    # Telemetry windows must replay bit-identically under seeded runs:
+    # the wall-interval mode takes an injectable clock and the default is
+    # the monotonic perf_counter, never the wall clock.
+    "repro.obs",
     "benchmarks",
 )
 

@@ -8,6 +8,8 @@ Installed as the ``lfo`` console script::
     lfo compare trace.bin --cache-fraction 10 --policies LRU,GDSF,S4LRU
     lfo simulate trace.bin --cache-fraction 10 --window 5000
     lfo simulate trace.bin --window 5000 --metrics-out metrics.json
+    lfo health trace.bin --check
+    lfo health trace.bin --follow --serve-metrics 9100
 
 Results go to stdout; progress and diagnostics go to stderr, so output
 stays pipeable.  ``--metrics-out PATH`` (on ``simulate``, ``compare`` and
@@ -225,6 +227,102 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    from .obs import (
+        HealthConfig,
+        HealthMonitor,
+        MetricsServer,
+        SloEngine,
+        SloSpec,
+        WindowedRegistry,
+    )
+
+    spec = SloSpec.from_json(args.slo) if args.slo else SloSpec.default()
+    registry = WindowedRegistry(every_requests=args.every, ring=args.ring)
+    monitor = HealthMonitor(
+        HealthConfig(
+            bhr_ph_lambda=args.bhr_lambda,
+            score_psi_threshold=args.psi_threshold,
+            staleness_windows=args.staleness_alert,
+        )
+    ).attach(registry)
+    engine = SloEngine(spec).attach(registry)
+    if args.follow:
+        registry.on_close(_render_window)
+    server = None
+    if args.serve_metrics is not None:
+        server = MetricsServer(
+            registry, port=args.serve_metrics, health=monitor, slo=engine
+        ).start()
+        _diag(
+            "serving /metrics /health /windows on "
+            f"http://127.0.0.1:{server.port}"
+        )
+    try:
+        with use_registry(registry), _fault_plan_scope(args):
+            trace = _trace_from_args(args)
+            cache_size = _resolve_cache(args, trace)
+            _diag(
+                f"health run over {len(trace)} requests, cache "
+                f"{cache_size} bytes, telemetry window {args.every} requests"
+            )
+            lfo = LFOOnline(
+                cache_size,
+                window=args.window,
+                cutoff=args.cutoff,
+                label_config=OptLabelConfig(
+                    mode=args.label_mode, segment_length=args.segment
+                ),
+                staleness_limit=args.staleness_limit,
+            )
+            result = simulate(trace, lfo, warmup_fraction=args.warmup)
+            registry.flush()  # close the partial tail window, if any
+    finally:
+        if server is not None:
+            server.stop()
+    verdict = {
+        "ok": engine.ok and monitor.ok,
+        "slo": engine.verdict(),
+        "health": monitor.status(),
+        "result": {"bhr": result.bhr, "ohr": result.ohr},
+    }
+    if args.windows_out:
+        with open(args.windows_out, "w") as handle:
+            json.dump(registry.to_windows_dict(), handle, indent=2)
+            handle.write("\n")
+        _diag(f"window ring written to {args.windows_out}")
+    if args.check:
+        print(json.dumps(verdict, indent=2))
+        return 0 if verdict["ok"] else 1
+    print(f"verdict    {'HEALTHY' if verdict['ok'] else 'UNHEALTHY'}")
+    print(f"BHR        {result.bhr:.4f}")
+    print(f"windows    {monitor.windows_observed}")
+    print(f"alerts     {len(monitor.alerts)}")
+    for alert in monitor.alerts:
+        print(f"  [{alert.kind}] window {alert.window_index}: "
+              f"{alert.message}")
+    for name, objective in engine.verdict()["objectives"].items():
+        state = "ok" if objective["ok"] else "BREACHED"
+        print(
+            f"slo {name:<24} {state:<9} "
+            f"burn {objective['burn_rate']:.2f} "
+            f"last {objective['last_value']:.6g}"
+        )
+    return 0
+
+
+def _render_window(snapshot) -> None:
+    """One ``--follow`` line per closed telemetry window (stderr)."""
+    bhr = snapshot.bhr
+    p99 = snapshot.quantile("sim.decision_latency_seconds", 0.99)
+    _diag(
+        f"window {snapshot.index:>4}  requests {snapshot.requests:>7}  "
+        f"bhr {'  --  ' if bhr is None else format(bhr, '.4f')}  "
+        f"p99 {p99 * 1e6:9.1f}us  "
+        f"evictions {int(snapshot.delta('sim.evictions')):>6}"
+    )
+
+
 def _cmd_hrc(args: argparse.Namespace) -> int:
     from .sim import lru_hit_ratio_curve
     from .viz import sparkline
@@ -377,6 +475,54 @@ def build_parser() -> argparse.ArgumentParser:
                             "(doubles per consecutive failure)")
     add_metrics_out(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_health = sub.add_parser(
+        "health",
+        help="run online LFO with windowed telemetry, drift detection "
+             "and SLO evaluation",
+    )
+    add_cache_args(p_health)
+    p_health.add_argument("--window", type=int, default=5_000,
+                          help="training window (requests)")
+    p_health.add_argument("--every", type=int, default=2_000,
+                          help="telemetry window (requests per snapshot)")
+    p_health.add_argument("--ring", type=int, default=120,
+                          help="telemetry windows retained in the ring")
+    p_health.add_argument("--cutoff", type=float, default=0.5)
+    p_health.add_argument("--segment", type=int, default=1_000)
+    p_health.add_argument("--label-mode", default="segmented",
+                          choices=("exact", "segmented", "pruned"))
+    p_health.add_argument("--warmup", type=float, default=0.25)
+    p_health.add_argument("--slo", metavar="PATH", default=None,
+                          help="SLO spec JSON (SloSpec.as_dict shape); "
+                               "default: built-in objectives")
+    p_health.add_argument("--check", action="store_true",
+                          help="one-shot mode: print the verdict JSON and "
+                               "exit 1 when any SLO is breached or any "
+                               "health alert fired")
+    p_health.add_argument("--follow", action="store_true",
+                          help="render each telemetry window live to "
+                               "stderr as it closes")
+    p_health.add_argument("--serve-metrics", type=int, metavar="PORT",
+                          default=None,
+                          help="serve /metrics, /health and /windows over "
+                               "HTTP on PORT for the duration of the run "
+                               "(0 = ephemeral port, printed to stderr)")
+    p_health.add_argument("--windows-out", metavar="PATH", default=None,
+                          help="write the final window-ring dump as JSON")
+    p_health.add_argument("--bhr-lambda", type=float, default=0.10,
+                          help="Page-Hinkley budget for BHR-drop alerts")
+    p_health.add_argument("--psi-threshold", type=float, default=0.25,
+                          help="admission-score PSI alert threshold")
+    p_health.add_argument("--staleness-alert", type=int, default=0,
+                          help="alert after this many training windows "
+                               "without a model install (0 = off)")
+    p_health.add_argument("--staleness-limit", type=int, default=None,
+                          help="degrade admission to the LRU fallback "
+                               "after this many stale windows")
+    p_health.add_argument("--fault-plan", metavar="PATH", default=None,
+                          help="JSON fault plan installed for the run")
+    p_health.set_defaults(func=_cmd_health)
 
     p_hrc = sub.add_parser(
         "hrc", help="print the trace's LRU hit-ratio curve"

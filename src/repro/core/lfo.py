@@ -56,6 +56,15 @@ __all__ = ["LFOModel", "LFOCache", "SampledEvictionConfig"]
 #: heaps buys nothing, and the floor gives tests a hard O(n_objects) bound.
 _COMPACT_MIN_HEAP = 64
 
+#: Bucket edges for the admission-score histogram: deciles of the
+#: predicted likelihood (a sigmoid output in [0, 1]; the overflow bucket
+#: is (0.9, 1.0]).  Ten bins is the conventional PSI granularity — the
+#: health layer computes per-window population-stability indices over
+#: exactly these buckets to spot covariate shift under a fixed model.
+ADMISSION_SCORE_BUCKETS = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+)
+
 
 @dataclass(frozen=True)
 class SampledEvictionConfig:
@@ -208,6 +217,11 @@ class LFOCache(CachePolicy):
         self._requests_seen = 0
         self._now = 0.0
         self.last_features: np.ndarray | None = None
+        # Bind-cached score instrument (None while obs is disabled), so
+        # the per-request cost is one identity compare — see
+        # ``_bind_score_instrument``.
+        self._obs_registry = None
+        self._score_hist = None
 
     @property
     def tracker(self) -> FeatureTracker:
@@ -318,6 +332,11 @@ class LFOCache(CachePolicy):
         self._now = request.time
         self._requests_seen += 1
         self.last_features = features
+        registry = get_registry()
+        if registry is not self._obs_registry:
+            self._bind_score_instrument(registry)
+        if self._score_hist is not None and self.model is not None:
+            self._score_hist.observe(score)
         hit = request.obj in self._entries
         if hit:
             # Re-evaluate the hit object's likelihood (Section 2.4).
@@ -334,6 +353,21 @@ class LFOCache(CachePolicy):
                     self._rank(request.obj, score)
         self._tracker.update(request)
         return hit
+
+    def _bind_score_instrument(self, registry) -> None:
+        """Re-resolve the admission-score histogram for a new registry.
+
+        Runs once per registry swap (``use_registry`` scopes), never per
+        request: :meth:`apply_scored` only compares identities.  While
+        observability is disabled the cached instrument is None and the
+        per-request cost is a single ``is`` check.
+        """
+        self._obs_registry = registry
+        self._score_hist = (
+            registry.histogram("lfo.admission_score", ADMISSION_SCORE_BUCKETS)
+            if registry.enabled
+            else None
+        )
 
     def _should_admit(self, score: float) -> bool:
         if self.model is None:

@@ -60,6 +60,7 @@ import numpy as np
 from ..features import Dataset, feature_names
 from ..gbdt import GBDTParams
 from ..obs import get_registry
+from ..obs.health import population_stability_index
 from ..resilience.faults import get_fault_plan
 from ..opt import (
     solve_greedy,
@@ -325,6 +326,10 @@ class LFOOnline(LFOCache):
         self._backoff_remaining = 0
         self._degraded = False
         self._halted = False
+        # Admission-score PSI state: cumulative histogram counts at the
+        # previous window close, and that window's per-bucket delta.
+        self._score_cum_prev: list[int] | None = None
+        self._score_delta_prev: list[int] | None = None
 
     # -- training status -----------------------------------------------------
 
@@ -443,6 +448,58 @@ class LFOOnline(LFOCache):
         with registry.span("online.window_close"):
             self._close_window(registry)
             self._check_staleness(registry)
+            self._publish_model_health(registry)
+
+    def _publish_model_health(self, registry) -> None:
+        """Publish the per-window-close model-health snapshot.
+
+        Gauges the health layer (``repro.obs.health``) and the staleness
+        SLO read: training posture (``windows_since_model``,
+        ``consecutive_failures``, ``last_train_seconds``), the feature
+        arena summary, and the admission-score PSI between the score
+        distributions of the last two training windows (a fixed model
+        whose score distribution jumps is seeing shifted inputs).  Runs
+        once per training window, off the request path.
+        """
+        if not registry.enabled:
+            return
+        registry.gauge("online.windows_since_model").set(
+            float(self._windows_since_model)
+        )
+        registry.gauge("online.consecutive_failures").set(
+            float(self._consecutive_failures)
+        )
+        registry.gauge("online.last_train_seconds").set(
+            self.last_training_seconds
+        )
+        summary = self._tracker.arena_summary(self._now)
+        registry.gauge("online.feature_tracked").set(
+            float(summary["tracked"])
+        )
+        registry.gauge("online.feature_recency_mean").set(
+            summary["recency_mean"]
+        )
+        registry.gauge("online.feature_cost_mean").set(summary["cost_mean"])
+        hist = self._score_hist
+        if hist is None:
+            return
+        current = list(hist.bucket_counts)
+        previous_cum = self._score_cum_prev
+        if previous_cum is None or len(previous_cum) != len(current):
+            delta = current
+        else:
+            delta = [c - p for c, p in zip(current, previous_cum)]
+        self._score_cum_prev = current
+        previous_delta = self._score_delta_prev
+        self._score_delta_prev = delta
+        if (
+            previous_delta is not None
+            and sum(previous_delta) > 0
+            and sum(delta) > 0
+        ):
+            registry.gauge("online.score_psi").set(
+                population_stability_index(previous_delta, delta)
+            )
 
     def _close_window(self, registry) -> None:
         """Snapshot the closed window and train on it (inline or submitted)."""
@@ -507,6 +564,7 @@ class LFOOnline(LFOCache):
                 with registry.span("online.model_install"):
                     self.set_model(model)
                 self.n_retrains += 1
+                registry.counter("online.model_installs").inc()
                 self._note_training_success(registry)
             return
 
@@ -709,6 +767,7 @@ class LFOOnline(LFOCache):
             with registry.span("online.model_install"):
                 self.set_model(model)
             self.n_retrains += 1
+            registry.counter("online.model_installs").inc()
             self._note_training_success(registry)
 
     def _trainer(self) -> Executor:
@@ -735,6 +794,8 @@ class LFOOnline(LFOCache):
         self._pending = None
         self._pending_submitted_at = 0
         self._requests_observed = 0
+        self._score_cum_prev = None
+        self._score_delta_prev = None
         self._windows_closed = 0
         self._windows_since_model = 0
         self._consecutive_failures = 0

@@ -294,6 +294,33 @@ class FeatureTracker:
             self._free.append(released)
         self.last_evicted = evicted
 
+    def arena_summary(self, now: float) -> dict:
+        """Distribution summary of the live arena state at time ``now``.
+
+        One vectorised pass over the live rows — gather, subtract, mean —
+        cheap enough to run at every training-window close, which is where
+        :class:`repro.core.LFOOnline` publishes it as the
+        ``online.feature_*`` gauges the health layer's feature-drift
+        detectors watch.
+
+        Returns ``tracked`` (live objects), ``recency_mean`` (mean trace
+        time since each object's last request — the gap_1 population), and
+        ``cost_mean`` (mean last retrieval cost).
+        """
+        n = len(self._rows)
+        if n == 0:
+            return {"tracked": 0, "recency_mean": 0.0, "cost_mean": 0.0}
+        rows = np.fromiter(self._rows.values(), dtype=np.int64, count=n)
+        # Every mapped row has count >= 1 (update records before mapping
+        # is observable), so the slot behind head is always a real time.
+        heads = self._head[rows]
+        last_times = self._times[rows, (heads - 1) % self._n_slots]
+        return {
+            "tracked": n,
+            "recency_mean": float(now - last_times.mean()),
+            "cost_mean": float(self._last_cost[rows].mean()),
+        }
+
     def memory_bytes_naive(self) -> int:
         """The paper's back-of-envelope accounting: a dense per-object record
         of 50 gaps (4 B each) plus size, cost, and bookkeeping ≈ 208 B."""

@@ -22,9 +22,24 @@ nothing; enable collection with::
 
 ``lfo simulate/compare/experiment --metrics-out m.json`` does exactly this
 from the command line.
+
+On top of the cumulative registry sits the streaming layer:
+
+* :class:`WindowedRegistry` — delta-encoded telemetry windows in a
+  bounded ring (``repro.obs.windows``);
+* :class:`HealthMonitor` — EWMA / Page-Hinkley / PSI drift detectors
+  over those windows (``repro.obs.health``);
+* :class:`SloEngine` — declarative objectives with error-budget burn
+  tracking (``repro.obs.slo``);
+* :class:`MetricsServer` — stdlib HTTP export of ``/metrics``,
+  ``/health``, ``/windows`` (``repro.obs.serve``).
 """
 
 from .export import JsonlSink, render_prometheus, write_json
+from .health import HealthAlert, HealthConfig, HealthMonitor
+from .serve import MetricsServer
+from .slo import SloEngine, SloObjective, SloSpec
+from .windows import WindowedRegistry, WindowSnapshot, estimate_quantile
 from .registry import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -57,4 +72,14 @@ __all__ = [
     "JsonlSink",
     "render_prometheus",
     "write_json",
+    "WindowedRegistry",
+    "WindowSnapshot",
+    "estimate_quantile",
+    "HealthAlert",
+    "HealthConfig",
+    "HealthMonitor",
+    "SloEngine",
+    "SloObjective",
+    "SloSpec",
+    "MetricsServer",
 ]

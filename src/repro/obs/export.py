@@ -9,26 +9,53 @@ field or a benchmark record).
 from __future__ import annotations
 
 import json
+import math
 import re
 from pathlib import Path
 from typing import Union
 
 __all__ = ["render_prometheus", "write_json", "JsonlSink"]
 
-_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT_RE = re.compile(r"^[0-9]")
 
 
 def _prom_name(prefix: str, name: str) -> str:
-    """Sanitise a dotted metric name into a Prometheus identifier."""
-    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+    """Sanitise a dotted metric name into a valid Prometheus identifier.
+
+    Invalid characters collapse to ``_``; a name that would start with a
+    digit (possible with an empty prefix) gets a leading underscore, per
+    the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` metric-name grammar.
+    """
+    flat = _NAME_RE.sub("_", f"{prefix}_{name}" if prefix else name)
+    if _LEADING_DIGIT_RE.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash, double
+    quote, and line feed are the three characters with escape sequences."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     """Render a registry snapshot in the Prometheus text exposition format.
 
-    Counters and gauges map directly; histograms emit the standard
-    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` series; span
-    aggregates are exposed as ``<prefix>_span_seconds_{count,sum,max}``
+    Conformance notes (pinned by ``tests/test_obs.py``):
+
+    * counters get the ``_total`` suffix;
+    * histogram ``_bucket`` series are *cumulative*, always end with a
+      ``le="+Inf"`` bucket equal to ``_count``, and are joined by
+      ``_sum``/``_count`` samples; a non-finite explicit bound (legacy
+      snapshots) folds into the ``+Inf`` bucket instead of emitting an
+      invalid ``le="inf"`` sample;
+    * metric names are sanitised to the exposition grammar and label
+      values (span names) are backslash-escaped.
+
+    Span aggregates are exposed as a ``<prefix>_span_seconds`` summary
     keyed by a ``span`` label.
     """
     lines: list[str] = []
@@ -49,8 +76,13 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         cumulative = 0
         for bound, count in hist["buckets"]:
             cumulative += count
-            le = "+Inf" if bound == "+Inf" else repr(float(bound))
+            if bound == "+Inf" or not math.isfinite(float(bound)):
+                # The overflow bucket (and any stray non-finite bound)
+                # lands in the single trailing +Inf sample below.
+                continue
+            le = repr(float(bound))
             lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
         lines.append(f"{metric}_sum {hist['total']}")
         lines.append(f"{metric}_count {hist['count']}")
 
@@ -59,7 +91,7 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         base = f"{prefix}_span_seconds"
         lines.append(f"# TYPE {base} summary")
         for name, agg in sorted(spans.items()):
-            label = f'{{span="{name}"}}'
+            label = f'{{span="{_escape_label_value(name)}"}}'
             lines.append(f"{base}_count{label} {agg['count']}")
             lines.append(f"{base}_sum{label} {agg['total_seconds']}")
             lines.append(f"{base}_max{label} {agg['max_seconds']}")

@@ -22,8 +22,9 @@ pools degrades to no-ops instead of breaking pickling.
 from __future__ import annotations
 
 import threading
-from bisect import bisect_right
+from bisect import bisect_left
 from contextlib import contextmanager
+from math import isfinite
 from functools import wraps
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, TypeVar
@@ -83,10 +84,12 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram with count/total/max summary.
 
-    ``bounds`` are upper bucket edges; an observation lands in the first
-    bucket whose edge is >= the value, with one implicit overflow bucket.
-    Buckets are fixed at construction so ``observe`` is one bisect plus
-    integer adds — no allocation.
+    ``bounds`` are *inclusive* upper bucket edges (Prometheus ``le``
+    semantics: a value equal to an edge lands in that edge's bucket),
+    with one implicit overflow bucket above the top edge.  Buckets are
+    fixed at construction so ``observe`` is one bisect plus integer adds
+    — no allocation.  Bounds must be finite: the overflow bucket *is*
+    the ``+Inf`` bucket, so an explicit infinite edge would alias it.
     """
 
     __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "max")
@@ -98,17 +101,46 @@ class Histogram:
             raise ValueError("histogram needs at least one bucket bound")
         self.name = name
         self.bounds = tuple(sorted(float(b) for b in bounds))
+        if not all(isfinite(b) for b in self.bounds):
+            raise ValueError(
+                "histogram bounds must be finite; the overflow bucket "
+                "already provides +Inf"
+            )
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
         self.max = 0.0
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_right(self.bounds, value)] += 1
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
         if value > self.max:
             self.max = value
+
+    def observe_batch(self, values: Iterable[float]) -> None:
+        """Fold a whole array of observations in one vectorised pass.
+
+        Bit-identical bucketing to per-value :meth:`observe`
+        (``np.searchsorted(..., side="left")`` matches the bisect), at
+        O(len + buckets) instead of one Python call per sample — how the
+        server simulation folds tens of thousands of latency samples.
+        """
+        import numpy as np
+
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        indices = np.searchsorted(self.bounds, values, side="left")
+        folded = np.bincount(indices, minlength=len(self.bucket_counts))
+        for i, n in enumerate(folded):
+            if n:
+                self.bucket_counts[i] += int(n)
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        top = float(values.max())
+        if top > self.max:
+            self.max = top
 
     def as_dict(self) -> dict:
         return {
@@ -144,6 +176,9 @@ class _NullInstrument:
     def observe(self, value) -> None:
         pass
 
+    def observe_batch(self, values) -> None:
+        pass
+
 
 _NULL_INSTRUMENT = _NullInstrument()
 
@@ -159,6 +194,8 @@ class MetricsRegistry:
     """
 
     enabled = True
+    every_requests = 0
+    every_seconds = 0.0
 
     def __init__(
         self,
@@ -246,15 +283,56 @@ class MetricsRegistry:
             self._histograms.clear()
         self.tracer.reset()
 
+    # -- windowed-telemetry parity (see repro.obs.windows) -------------------
+    # A cumulative registry has no window ring; these no-ops let producers
+    # call ``registry.maybe_roll()`` at checkpoints and health/SLO layers
+    # ``attach`` unconditionally.  :class:`repro.obs.WindowedRegistry`
+    # overrides all of them.
+
+    def on_close(self, callback: Callable[[Any], None]) -> None:
+        pass
+
+    def maybe_roll(self) -> None:
+        return None
+
+    def roll(self) -> None:
+        return None
+
+    def windows(self) -> list:
+        return []
+
+    def last_window(self) -> None:
+        return None
+
+    def window_series(self, name: str) -> list[float]:
+        return []
+
+    def to_windows_dict(self) -> dict:
+        return {
+            "mode": "disabled",
+            "every_requests": 0,
+            "every_seconds": 0.0,
+            "ring": 0,
+            "next_index": 0,
+            "windows": [],
+        }
+
 
 class NullRegistry:
     """Disabled observability: same interface, every operation a no-op.
 
     ``span()`` still measures ``elapsed`` (callers consume it) but records
     nothing; counters/gauges/histograms are one shared inert instrument.
+    The windowed-telemetry surface (:class:`repro.obs.WindowedRegistry`)
+    is mirrored too — ``maybe_roll``/``roll`` return nothing, the ring is
+    always empty, ``on_close`` subscriptions are dropped — so health
+    monitors and SLO engines attach to a disabled registry without a
+    single conditional at the call site.
     """
 
     enabled = False
+    every_requests = 0
+    every_seconds = 0.0
 
     def counter(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT
@@ -290,6 +368,36 @@ class NullRegistry:
 
     def reset(self) -> None:
         pass
+
+    # -- windowed-telemetry parity (see repro.obs.windows) -------------------
+
+    def on_close(self, callback: Callable[[Any], None]) -> None:
+        pass
+
+    def maybe_roll(self) -> None:
+        return None
+
+    def roll(self) -> None:
+        return None
+
+    def windows(self) -> list:
+        return []
+
+    def last_window(self) -> None:
+        return None
+
+    def window_series(self, name: str) -> list[float]:
+        return []
+
+    def to_windows_dict(self) -> dict:
+        return {
+            "mode": "disabled",
+            "every_requests": 0,
+            "every_seconds": 0.0,
+            "ring": 0,
+            "next_index": 0,
+            "windows": [],
+        }
 
 
 # -- process-wide default registry -------------------------------------------

@@ -63,6 +63,7 @@ by ``tests/test_evict_sampled.py``).
 from __future__ import annotations
 
 from bisect import bisect_left
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -72,6 +73,7 @@ from ..trace import Trace
 
 if TYPE_CHECKING:  # repro.core imports repro.sim; annotation only.
     from ..core.lfo import LFOCache
+    from .runner import _MetricsFolder
 
 __all__ = ["run_batched"]
 
@@ -83,6 +85,19 @@ FREE_BYTES_COLUMN = 2
 #: amortise its setup, so thrashy traffic stops shrinking here.
 _MIN_WINDOW = 16
 
+#: Bounds for the per-decision latency histogram: 1µs .. 10ms with 1-2-5
+#: steps, fine enough that p99/p999 interpolation stays meaningful for a
+#: sub-millisecond decision budget (Cold-RL's deployment constraint).
+#: Lives here (not runner.py) so both loops share it without a cycle.
+DECISION_LATENCY_BUCKETS = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2,
+)
+
+#: Decisions timed per speculation window — clustered sampling, same
+#: rationale as the scalar loop's per-chunk cluster.
+_TIMED_PER_WINDOW = 8
+
 
 def run_batched(
     trace: Trace,
@@ -90,12 +105,17 @@ def run_batched(
     batch_size: int,
     hits: np.ndarray,
     on_request: Callable[[int, bool], None] | None = None,
+    folder: "_MetricsFolder | None" = None,
 ) -> None:
     """Drive ``policy`` over ``trace`` in speculative scoring windows.
 
     Fills ``hits`` in place with the per-request hit flags; semantics are
     bit-identical to the scalar ``policy.on_request`` loop.
-    ``batch_size`` caps the adaptive lookahead length.
+    ``batch_size`` caps the adaptive lookahead length.  When telemetry is
+    enabled, ``folder`` (built by :func:`repro.sim.simulate`) folds
+    counters and offers window-roll checkpoints at speculation-window
+    edges, and the leading decisions of each window are timed into the
+    shared decision-latency histogram.
     """
     model = policy.model
     predictor = model.classifier.compiled()
@@ -105,8 +125,13 @@ def run_batched(
     thresholds = predictor.feature_thresholds(FREE_BYTES_COLUMN).tolist()
     registry = get_registry()
     observing = registry.enabled
+    timed_limit = 0
     if observing:
         rows_hist = registry.histogram("sim.batch_rows")
+        latency_hist = registry.histogram(
+            "sim.decision_latency_seconds", DECISION_LATENCY_BUCKETS
+        )
+        timed_limit = _TIMED_PER_WINDOW
     requests = list(trace)
     n = len(requests)
     n_rescored = 0
@@ -149,7 +174,12 @@ def run_batched(
                 features = speculated[k]
                 features[FREE_BYTES_COLUMN] = free_live
                 score = float(scores[k])
-            hit = policy.apply_scored(request, features, score)
+            if k < timed_limit:
+                began = perf_counter()
+                hit = policy.apply_scored(request, features, score)
+                latency_hist.observe(perf_counter() - began)
+            else:
+                hit = policy.apply_scored(request, features, score)
             dirty.add(obj)
             evicted = tracker.last_evicted
             if evicted is not None:
@@ -165,6 +195,8 @@ def run_batched(
             # which the next window must re-cover, still fits).
             window = min(max(_MIN_WINDOW, consumed + 1), batch_size)
         i += consumed
+        if folder is not None:
+            folder.fold(i)
     if observing:
         if n_rescored:
             registry.counter("sim.batch_rescored").inc(n_rescored)

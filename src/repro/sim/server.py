@@ -23,7 +23,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import get_registry
+
 __all__ = ["ServerConfig", "ServerReport", "simulate_server"]
+
+#: Bounds for the queueing-latency histograms: 100µs .. 30s.  Request
+#: sojourn times sit near ``prediction_time`` (1ms default); training
+#: completion delays run to many seconds under the fifo discipline.
+_SERVER_LATENCY_BUCKETS = (
+    1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2,
+    1e-1, 0.5, 1.0, 5.0, 10.0, 30.0,
+)
 
 
 @dataclass(frozen=True)
@@ -77,7 +87,15 @@ class ServerReport:
 
 
 def simulate_server(config: ServerConfig) -> ServerReport:
-    """Run the discrete-event simulation and return latency statistics."""
+    """Run the discrete-event simulation and return latency statistics.
+
+    When a :mod:`repro.obs` registry is active the report's latency
+    samples are also folded (one vectorised pass, off the simulated
+    request path) into the ``server.request_latency_seconds`` and
+    ``server.training_latency_seconds`` histograms, so the fifo-vs-
+    priority comparison shows up in the same export surfaces — Prometheus
+    ``/metrics``, window quantiles — as the cache simulator's telemetry.
+    """
     if config.discipline not in ("fifo", "priority"):
         raise ValueError("discipline must be 'fifo' or 'priority'")
     if config.n_workers < 1:
@@ -96,8 +114,25 @@ def simulate_server(config: ServerConfig) -> ServerReport:
             jobs.append((float(t), config.training_time, True))
 
     if config.discipline == "fifo":
-        return _simulate_fifo(jobs, config)
-    return _simulate_priority(jobs, config)
+        report = _simulate_fifo(jobs, config)
+    else:
+        report = _simulate_priority(jobs, config)
+    _observe_report(report)
+    return report
+
+
+def _observe_report(report: ServerReport) -> None:
+    """Fold a finished report's samples into the active registry."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.histogram(
+        "server.request_latency_seconds", _SERVER_LATENCY_BUCKETS
+    ).observe_batch(report.latencies)
+    registry.histogram(
+        "server.training_latency_seconds", _SERVER_LATENCY_BUCKETS
+    ).observe_batch(np.asarray(report.training_delays))
+    registry.gauge("server.utilisation").set(report.utilisation)
 
 
 def _simulate_fifo(jobs, config: ServerConfig) -> ServerReport:

@@ -226,3 +226,104 @@ class TestHrc:
         out = capsys.readouterr().out
         assert "hit-ratio curve" in out
         assert "compulsory-miss limit" in out
+
+
+class TestHealth:
+    ARGS = [
+        "--cache-fraction", "10", "--window", "600", "--segment", "300",
+        "--every", "400", "--warmup", "0",
+    ]
+
+    def test_check_healthy_exit_zero(self, trace_file, capsys):
+        code = main(["health", trace_file, *self.ARGS, "--check"])
+        captured = capsys.readouterr()
+        verdict = json.loads(captured.out)
+        assert code == 0
+        assert verdict["ok"] is True
+        assert verdict["slo"]["ok"] is True
+        assert verdict["health"]["alerts"] == 0
+        assert verdict["health"]["windows_observed"] > 0
+        assert 0.0 <= verdict["result"]["bhr"] <= 1.0
+
+    def test_check_unhealthy_exit_one(self, trace_file, tmp_path, capsys):
+        # An impossible BHR floor with zero budget breaches immediately.
+        slo_path = tmp_path / "slo.json"
+        slo_path.write_text(json.dumps({
+            "horizon": 5,
+            "objectives": [{
+                "name": "impossible_bhr", "kind": "window_bhr",
+                "min_value": 0.999, "budget": 0.0,
+            }],
+        }))
+        code = main([
+            "health", trace_file, *self.ARGS,
+            "--check", "--slo", str(slo_path),
+        ])
+        verdict = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert verdict["ok"] is False
+        assert verdict["slo"]["objectives"]["impossible_bhr"]["ok"] is False
+
+    def test_windows_out_artifact(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "windows.json"
+        code = main([
+            "health", trace_file, *self.ARGS,
+            "--check", "--windows-out", str(out_path),
+        ])
+        assert code == 0
+        dump = json.loads(out_path.read_text())
+        assert dump["mode"] == "requests"
+        assert dump["every_requests"] == 400
+        assert dump["windows"]
+        first = dump["windows"][0]
+        assert first["counters"]["sim.requests"] == 400
+        assert "sim.decision_latency_seconds" in first["histograms"]
+
+    def test_human_summary(self, trace_file, capsys):
+        code = main(["health", trace_file, *self.ARGS])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict    HEALTHY" in out
+        assert "slo decision_latency_p99" in out
+        assert "slo window_bhr" in out
+        assert "slo train_to_install" in out
+
+    def test_follow_renders_window_lines(self, trace_file, capsys):
+        code = main(["health", trace_file, *self.ARGS, "--follow"])
+        assert code == 0
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if l.startswith("window ")]
+        assert len(lines) >= 4  # 2000 requests / 400 per window
+        assert "bhr" in lines[-1] and "p99" in lines[-1]
+
+    def test_serve_metrics_endpoints_live(self, trace_file, capsys):
+        import re
+        import urllib.request
+
+        code = main([
+            "health", trace_file, *self.ARGS,
+            "--serve-metrics", "0", "--check",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", captured.err)
+        assert match, captured.err
+        # The run has finished and the server is stopped: the port must
+        # no longer accept connections (no leaked daemon listener).
+        port = int(match.group(1))
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=1.0
+            )
+
+    def test_staleness_alert_flag(self, trace_file, capsys):
+        code = main([
+            "health", trace_file, *self.ARGS,
+            "--staleness-alert", "1", "--check",
+        ])
+        captured = capsys.readouterr()
+        verdict = json.loads(captured.out)
+        # The detector ran; whether it fired depends on training cadence,
+        # but the posture block must reflect the configured detector.
+        assert "alerts_by_kind" in verdict["health"]
+        assert code in (0, 1)

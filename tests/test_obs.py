@@ -240,6 +240,149 @@ class TestExporters:
         assert render_prometheus(NullRegistry().to_dict()) == ""
 
 
+class TestPrometheusConformance:
+    """Exposition-format conformance, pinned against the spec grammar."""
+
+    def test_inf_bucket_always_present_and_equals_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=(1.0,))
+        hist.observe(0.5)  # nothing above the top bound
+        text = registry.to_prometheus()
+        assert 'repro_h_bucket{le="+Inf"} 1' in text
+        assert text.count('le="+Inf"') == 1
+
+    def test_sum_and_count_samples(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        text = registry.to_prometheus()
+        assert "repro_h_sum 5.0" in text
+        assert "repro_h_count 3" in text
+
+    def test_histogram_type_line_precedes_samples(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        lines = registry.to_prometheus().splitlines()
+        type_index = lines.index("# TYPE repro_h histogram")
+        assert lines[type_index + 1].startswith("repro_h_bucket")
+
+    def test_legacy_nonfinite_bound_folds_into_inf(self):
+        """Snapshots from older runs carried an explicit inf bound; it
+        must fold into the single +Inf sample, never render le="inf"."""
+        snapshot = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "h": {
+                    "count": 3,
+                    "total": 6.0,
+                    "max": 4.0,
+                    "buckets": [[1.0, 1], [float("inf"), 2]],
+                }
+            },
+            "spans": {},
+        }
+        text = render_prometheus(snapshot)
+        assert 'le="inf"' not in text
+        assert 'repro_h_bucket{le="+Inf"} 3' in text
+
+    def test_metric_name_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.hits-v2").inc()
+        text = registry.to_prometheus()
+        assert "repro_sim_hits_v2_total 1" in text
+
+    def test_leading_digit_name_guarded(self):
+        registry = MetricsRegistry()
+        registry.counter("2xx.responses").inc()
+        text = registry.to_prometheus(prefix="")
+        assert "_2xx_responses_total 1" in text
+        # Every sample line starts with a valid identifier character.
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                assert not line[0].isdigit()
+
+    def test_span_label_value_escaped(self):
+        registry = MetricsRegistry()
+        with registry.span('weird"name\\with\nnasties'):
+            pass
+        text = registry.to_prometheus()
+        assert 'span="weird\\"name\\\\with\\nnasties"' in text
+        # No raw newline may survive inside a sample line.
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_counter_total_suffix_and_gauge_without(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_c_total counter" in text
+        assert "repro_c_total 3" in text
+        assert "# TYPE repro_g gauge" in text
+        assert "repro_g 1.5" in text
+        assert "repro_g_total" not in text
+
+
+class TestHistogramEdgeCases:
+    def test_observation_above_top_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=(1.0, 2.0))
+        hist.observe(1e9)
+        stats = registry.to_dict()["histograms"]["h"]
+        assert stats["buckets"] == [[1.0, 0], [2.0, 0], ["+Inf", 1]]
+        assert stats["max"] == 1e9
+
+    def test_boundary_value_is_le_inclusive(self):
+        """Prometheus buckets are `le`: a value equal to a bound lands in
+        that bound's bucket, not the next one."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=(1.0, 2.0))
+        hist.observe(1.0)
+        hist.observe(2.0)
+        stats = registry.to_dict()["histograms"]["h"]
+        assert stats["buckets"] == [[1.0, 1], [2.0, 1], ["+Inf", 0]]
+
+    def test_nonfinite_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, float("inf")))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(float("nan"),))
+
+    def test_unsorted_bounds_normalised(self):
+        hist = Histogram("h", bounds=(2.0, 1.0))
+        assert hist.bounds == (1.0, 2.0)
+        hist.observe(1.5)
+        assert hist.bucket_counts == [0, 1, 0]
+
+    def test_observe_batch_matches_scalar_observe(self):
+        import numpy as np
+
+        values = [0.5, 1.0, 1.5, 2.0, 9.0, 1e6]
+        scalar = Histogram("a", bounds=(1.0, 2.0))
+        batched = Histogram("b", bounds=(1.0, 2.0))
+        for value in values:
+            scalar.observe(value)
+        batched.observe_batch(np.asarray(values))
+        assert scalar.bucket_counts == batched.bucket_counts
+        assert scalar.count == batched.count
+        assert scalar.total == pytest.approx(batched.total)
+        assert scalar.max == batched.max
+
+    def test_observe_batch_empty_is_noop(self):
+        import numpy as np
+
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe_batch(np.asarray([]))
+        assert hist.count == 0
+
+    def test_null_registry_observe_batch_noop(self):
+        registry = NullRegistry()
+        registry.histogram("h").observe_batch([1.0, 2.0])
+        assert registry.to_dict()["histograms"] == {}
+
+
 @pytest.fixture(scope="module")
 def obs_trace():
     return generate_trace(

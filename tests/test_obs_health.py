@@ -1,0 +1,269 @@
+"""Tests for model-health drift detection (repro.obs.health)."""
+
+import pytest
+
+from repro.obs import (
+    HealthConfig,
+    HealthMonitor,
+    WindowedRegistry,
+)
+from repro.obs.health import (
+    EwmaDetector,
+    PageHinkley,
+    population_stability_index,
+)
+
+
+def close_window(registry, *, hit_bytes=0, miss_bytes=0, scores=(),
+                 installs=0, gauges=None):
+    """Drive one window through an attached registry."""
+    if hit_bytes:
+        registry.counter("sim.hit_bytes").inc(hit_bytes)
+    if miss_bytes:
+        registry.counter("sim.miss_bytes").inc(miss_bytes)
+    if scores:
+        hist = registry.histogram(
+            "lfo.admission_score", bounds=tuple(i / 10 for i in range(1, 10))
+        )
+        for score in scores:
+            hist.observe(score)
+    if installs:
+        registry.counter("online.model_installs").inc(installs)
+    for name, value in (gauges or {}).items():
+        registry.gauge(name).set(value)
+    return registry.roll()
+
+
+class TestPopulationStabilityIndex:
+    def test_identical_distributions_are_zero(self):
+        assert population_stability_index([10, 20, 30], [10, 20, 30]) == 0.0
+        # Scale-invariant: proportions match even if totals differ.
+        assert population_stability_index([10, 20, 30], [1, 2, 3]) == (
+            pytest.approx(0.0)
+        )
+
+    def test_shifted_distribution_is_positive(self):
+        psi = population_stability_index([90, 10], [10, 90])
+        assert psi > 0.25
+
+    def test_small_shift_below_major_threshold(self):
+        psi = population_stability_index([50, 50], [52, 48])
+        assert 0.0 < psi < 0.1
+
+    def test_empty_vectors_are_zero(self):
+        assert population_stability_index([0, 0], [5, 5]) == 0.0
+        assert population_stability_index([5, 5], [0, 0]) == 0.0
+
+    def test_misaligned_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            population_stability_index([1, 2], [1, 2, 3])
+
+    def test_empty_bins_floored_not_infinite(self):
+        psi = population_stability_index([100, 0], [0, 100])
+        assert psi == pytest.approx(
+            population_stability_index([0, 100], [100, 0])
+        )
+        assert psi < float("inf")
+
+
+class TestEwmaDetector:
+    def test_warmup_returns_zero(self):
+        detector = EwmaDetector(warmup=3)
+        assert detector.update(1.0) == 0.0
+        assert detector.update(100.0) == 0.0
+        assert detector.update(1.0) == 0.0
+
+    def test_step_change_scores_against_history(self):
+        detector = EwmaDetector(alpha=0.3, warmup=2)
+        for _ in range(4):
+            detector.update(10.0)
+        deviation = detector.update(30.0)
+        assert deviation == pytest.approx(2.0)
+
+    def test_stable_series_near_zero(self):
+        detector = EwmaDetector(warmup=2)
+        deviations = [detector.update(5.0 + 0.01 * (i % 2))
+                      for i in range(10)]
+        assert max(deviations) < 0.01
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=1.5)
+
+
+class TestPageHinkley:
+    def test_no_alert_on_stationary_series(self):
+        ph = PageHinkley(delta=0.01, lamb=0.1, warmup=3)
+        assert not any(ph.update(0.5) for _ in range(50))
+
+    def test_sustained_drop_alerts_once(self):
+        ph = PageHinkley(delta=0.01, lamb=0.1, warmup=3)
+        for _ in range(10):
+            assert not ph.update(0.5)
+        fired = [ph.update(0.2) for _ in range(10)]
+        assert sum(fired) == 1  # reset after alert, no alert storm
+
+    def test_increase_never_alerts(self):
+        ph = PageHinkley(delta=0.01, lamb=0.1, warmup=3)
+        assert not any(ph.update(0.5 + 0.05 * i) for i in range(20))
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            PageHinkley(lamb=0.0)
+
+
+class TestBhrDrift:
+    def test_detects_sustained_bhr_drop(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor(
+            HealthConfig(bhr_ph_delta=0.01, bhr_ph_lambda=0.1, bhr_warmup=3)
+        ).attach(registry)
+        for _ in range(8):
+            close_window(registry, hit_bytes=800, miss_bytes=200)
+        assert monitor.ok
+        for _ in range(6):
+            close_window(registry, hit_bytes=300, miss_bytes=700)
+        kinds = {a.kind for a in monitor.alerts}
+        assert "bhr_drift" in kinds
+        assert registry.counter("health.bhr_alerts").value >= 1
+        assert registry.counter("health.alerts").value >= 1
+
+    def test_stationary_bhr_is_quiet(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor().attach(registry)
+        for _ in range(30):
+            close_window(registry, hit_bytes=700, miss_bytes=300)
+        assert monitor.ok
+        assert monitor.alerts == []
+
+    def test_windows_without_bytes_skipped(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor().attach(registry)
+        for _ in range(10):
+            close_window(registry)
+        assert monitor.windows_observed == 10
+        assert monitor.alerts == []
+
+
+class TestScoreDrift:
+    CONFIG = HealthConfig(score_psi_threshold=0.25, score_min_count=10)
+
+    def test_detects_distribution_shift(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor(self.CONFIG).attach(registry)
+        low = [0.15] * 90 + [0.85] * 10
+        high = [0.15] * 10 + [0.85] * 90
+        for _ in range(3):
+            close_window(registry, scores=low)
+        assert monitor.ok
+        close_window(registry, scores=high)
+        kinds = {a.kind for a in monitor.alerts}
+        assert kinds == {"score_drift"}
+        assert registry.counter("health.score_alerts").value == 1
+
+    def test_model_install_rebaselines_psi(self):
+        """An install window is mixed-model: no PSI, baseline dropped."""
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor(self.CONFIG).attach(registry)
+        low = [0.15] * 90 + [0.85] * 10
+        high = [0.15] * 10 + [0.85] * 90
+        for _ in range(3):
+            close_window(registry, scores=low)
+        # New model lands mid-window; its scores shift drastically but the
+        # comparison is suppressed and the baseline rebuilt.
+        close_window(registry, scores=high, installs=1)
+        close_window(registry, scores=high)
+        close_window(registry, scores=high)
+        assert monitor.ok, [a.message for a in monitor.alerts]
+
+    def test_thin_windows_skipped(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor(self.CONFIG).attach(registry)
+        close_window(registry, scores=[0.15] * 50)
+        close_window(registry, scores=[0.85] * 5)  # below min_count
+        assert monitor.ok
+
+
+class TestFeatureDrift:
+    def test_detects_arena_summary_jump(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor(
+            HealthConfig(feature_deviation=1.0, feature_warmup=2)
+        ).attach(registry)
+        for _ in range(5):
+            close_window(
+                registry, gauges={"online.feature_recency_mean": 10.0}
+            )
+        close_window(registry, gauges={"online.feature_recency_mean": 50.0})
+        kinds = {a.kind for a in monitor.alerts}
+        assert kinds == {"feature_drift"}
+        assert registry.counter("health.feature_alerts").value == 1
+
+
+class TestTrainingPosture:
+    def test_staleness_latch(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor(
+            HealthConfig(staleness_windows=3)
+        ).attach(registry)
+        close_window(registry, gauges={"online.windows_since_model": 2.0})
+        assert monitor.ok
+        close_window(registry, gauges={"online.windows_since_model": 3.0})
+        close_window(registry, gauges={"online.windows_since_model": 4.0})
+        stale = [a for a in monitor.alerts if a.kind == "staleness"]
+        assert len(stale) == 1  # latched, not per-window
+        # Recovery re-arms the latch.
+        close_window(registry, gauges={"online.windows_since_model": 0.0})
+        close_window(registry, gauges={"online.windows_since_model": 5.0})
+        stale = [a for a in monitor.alerts if a.kind == "staleness"]
+        assert len(stale) == 2
+
+    def test_staleness_disabled_by_default(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor().attach(registry)
+        close_window(registry, gauges={"online.windows_since_model": 99.0})
+        assert monitor.ok
+
+    def test_training_halt_latch(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor().attach(registry)
+        close_window(registry, gauges={"resilience.training_halted": 1.0})
+        close_window(registry, gauges={"resilience.training_halted": 1.0})
+        halts = [a for a in monitor.alerts if a.kind == "training_halted"]
+        assert len(halts) == 1
+        assert registry.counter("health.training_halt_alerts").value == 1
+
+
+class TestStatus:
+    def test_status_shape(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor(
+            HealthConfig(feature_deviation=0.5, feature_warmup=1)
+        ).attach(registry)
+        for value in (10.0, 10.0, 10.0, 40.0):
+            close_window(
+                registry,
+                hit_bytes=700,
+                miss_bytes=300,
+                gauges={"online.feature_cost_mean": value},
+            )
+        status = monitor.status()
+        assert status["ok"] is False
+        assert status["windows_observed"] == 4
+        assert status["alerts"] == len(monitor.alerts)
+        assert status["alerts_by_kind"]["feature_drift"] >= 1
+        assert status["bhr_baseline"] == pytest.approx(0.7)
+        assert isinstance(status["recent_alerts"], list)
+        assert status["recent_alerts"][0]["kind"] == "feature_drift"
+
+    def test_alert_as_dict(self):
+        registry = WindowedRegistry(every_requests=100)
+        monitor = HealthMonitor().attach(registry)
+        close_window(registry, gauges={"resilience.training_halted": 1.0})
+        alert = monitor.alerts[0].as_dict()
+        assert alert["kind"] == "training_halted"
+        assert alert["window_index"] == 0
+        assert alert["threshold"] == 1.0
+        assert "retraining halted" in alert["message"]
