@@ -7,12 +7,20 @@ review comments.  The framework is self-contained (stdlib ``ast`` only):
 
 * :class:`Rule` — visitor-based plugin API; each rule owns a stable
   ``rule_id`` used by ``--select`` and suppressions;
-* :func:`run_analysis` — walk a tree, run the (selected) suite, return an
-  :class:`AnalysisReport`;
-* :func:`check_source` — run the suite over one source string (tests);
-* :func:`render_text` / :func:`render_json` — reporters;
+* :class:`ProjectRule` — whole-program rules (``lfo lint --deep``) that
+  consume one :class:`~repro.analysis.project.ProjectModel` — repo-wide
+  symbol table, import/call graph, dataflow effect summaries;
+* :func:`run_analysis` / :func:`run_deep_analysis` — walk a tree, run the
+  (selected) suite(s), return an :class:`AnalysisReport`;
+* :func:`check_source` / :func:`check_project_sources` — fixture entry
+  points over in-memory sources (tests);
+* :func:`render_text` / :func:`render_json` / :func:`render_sarif` —
+  reporters;
+* :class:`Baseline` — committed accepted-findings file applied by the
+  deep tier;
 * ``# lint: ignore[rule-id]`` anywhere in a file suppresses that rule for
-  the whole file (always pair it with a justification comment).
+  the whole file; ``# lint: ignore-next-line[rule-id]`` suppresses it on
+  the next line only (always pair either with a justification comment).
 
 The built-in suite lives in :mod:`repro.analysis.rules`; see
 ``docs/architecture.md`` ("Static analysis & invariants") for the rule
@@ -21,22 +29,55 @@ catalogue.
 
 from __future__ import annotations
 
-from .base import FileContext, Rule, Violation
-from .engine import AnalysisReport, check_source, iter_python_files, run_analysis
-from .report import render_json, render_text
-from .rules import ALL_RULES, all_rules, rule_ids
+from .base import FileContext, ProjectRule, Rule, Violation
+from .engine import (
+    AnalysisReport,
+    Baseline,
+    check_project_sources,
+    check_source,
+    iter_python_files,
+    run_analysis,
+    run_deep_analysis,
+)
+from .metrics import (
+    collect_metric_surface,
+    render_metrics_json,
+    render_metrics_markdown,
+)
+from .project import ProjectModel
+from .report import render_json, render_sarif, render_text
+from .rules import (
+    ALL_RULES,
+    PROJECT_RULES,
+    all_project_rules,
+    all_rules,
+    project_rule_ids,
+    rule_ids,
+)
 
 __all__ = [
     "ALL_RULES",
     "AnalysisReport",
+    "Baseline",
     "FileContext",
+    "PROJECT_RULES",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "Violation",
+    "all_project_rules",
     "all_rules",
+    "check_project_sources",
     "check_source",
+    "collect_metric_surface",
     "iter_python_files",
+    "project_rule_ids",
     "render_json",
+    "render_metrics_json",
+    "render_metrics_markdown",
+    "render_sarif",
     "render_text",
     "rule_ids",
     "run_analysis",
+    "run_deep_analysis",
 ]

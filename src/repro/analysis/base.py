@@ -14,10 +14,16 @@ import ast
 import re
 from dataclasses import dataclass, field
 
-__all__ = ["FileContext", "Rule", "Violation"]
+__all__ = ["FileContext", "ProjectRule", "Rule", "Violation"]
 
 #: ``# lint: ignore[rule-a, rule-b]`` — file-wide suppression marker.
 SUPPRESSION_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9_,\s-]+)\]")
+
+#: ``# lint: ignore-next-line[rule-a, rule-b]`` — suppresses the listed
+#: rules on the line directly below the marker only.
+NEXT_LINE_RE = re.compile(
+    r"#\s*lint:\s*ignore-next-line\[([A-Za-z0-9_,\s-]+)\]"
+)
 
 
 @dataclass(frozen=True)
@@ -58,6 +64,12 @@ class FileContext:
     source: str
     tree: ast.Module
     suppressed: frozenset[str] = field(default_factory=frozenset)
+    #: Line-scoped suppressions: line number -> rule ids silenced there
+    #: (populated from ``# lint: ignore-next-line[...]`` markers).
+    line_suppressed: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: Whether this file is a package ``__init__`` (drives relative-import
+    #: resolution in the whole-program model).
+    is_package: bool = False
 
     @classmethod
     def from_source(
@@ -70,6 +82,8 @@ class FileContext:
             source=source,
             tree=ast.parse(source, filename=path),
             suppressed=parse_suppressions(source),
+            line_suppressed=parse_line_suppressions(source),
+            is_package=path.endswith("__init__.py"),
         )
 
     def in_package(self, *prefixes: str) -> bool:
@@ -79,6 +93,12 @@ class FileContext:
             for p in prefixes
         )
 
+    def suppressed_at(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is silenced at ``line`` (file- or line-wide)."""
+        return rule_id in self.suppressed or rule_id in self.line_suppressed.get(
+            line, frozenset()
+        )
+
 
 def parse_suppressions(source: str) -> frozenset[str]:
     """Rule ids suppressed file-wide via ``# lint: ignore[rule-id, ...]``."""
@@ -86,6 +106,25 @@ def parse_suppressions(source: str) -> frozenset[str]:
     for match in SUPPRESSION_RE.finditer(source):
         ids.update(part.strip() for part in match.group(1).split(",") if part.strip())
     return frozenset(ids)
+
+
+def parse_line_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Per-line suppressions: ``# lint: ignore-next-line[rule-id, ...]``.
+
+    The marker silences the listed rules on the *next* line only, so a
+    justified one-line exception does not blank the rule for the whole
+    file.  Returns a map of suppressed line number -> rule ids.
+    """
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in NEXT_LINE_RE.finditer(line):
+            ids = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            out.setdefault(lineno + 1, set()).update(ids)
+    return {line: frozenset(ids) for line, ids in out.items()}
 
 
 class Rule(ast.NodeVisitor):
@@ -142,6 +181,37 @@ class Rule(ast.NodeVisitor):
                 col=getattr(node, "col_offset", 0) + 1,
                 message=message,
             )
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (the ``lfo lint --deep`` tier).
+
+    A project rule never visits single files: the engine builds one
+    :class:`repro.analysis.project.ProjectModel` — repo-wide symbol
+    table, import/call graph, dataflow summaries — and hands it to
+    :meth:`check_project` once.  Findings still anchor to a concrete
+    ``path:line`` so suppressions and baselines apply uniformly.
+    """
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        """Project rules do not participate in the per-file pass."""
+        return []
+
+    def check_project(self, model: object) -> list[Violation]:
+        """All findings over the whole-program ``model``."""
+        raise NotImplementedError
+
+    def report_at(
+        self, *, path: str, line: int, col: int, message: str
+    ) -> Violation:
+        """Construct (without recording) a violation at an explicit site."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
         )
 
 

@@ -5,19 +5,41 @@ file once, hands the AST to every selected rule that claims the module,
 and returns an :class:`AnalysisReport`.  Module names are derived from
 paths (``src/repro/...`` loses the ``src/`` prefix) so rule scoping works
 on dotted names regardless of where the tree is checked out.
+
+:func:`run_deep_analysis` is the whole-program tier (``lfo lint --deep``):
+it builds one :class:`~repro.analysis.project.ProjectModel` (reusing the
+parsed per-file contexts, optionally from the on-disk model cache), runs
+the per-file suite over those contexts *and* every
+:class:`~repro.analysis.base.ProjectRule` over the model, then applies
+suppressions and an optional :class:`Baseline` of accepted findings.
 """
 
 from __future__ import annotations
 
-import ast
+import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from .base import FileContext, Rule, Violation
-from .rules import all_rules
+from .rules import (
+    all_project_rules,
+    all_rules,
+    project_rule_ids,
+    rule_ids,
+)
 
-__all__ = ["AnalysisReport", "check_source", "iter_python_files", "run_analysis"]
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "check_project_sources",
+    "check_source",
+    "iter_python_files",
+    "run_analysis",
+    "run_deep_analysis",
+    "split_select",
+]
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset(
@@ -37,6 +59,16 @@ class AnalysisReport:
     files_checked: int
     rule_ids: list[str]
     parse_errors: list[Violation] = field(default_factory=list)
+    #: Findings matched (and silenced) by the committed baseline; SARIF
+    #: still carries them with an external suppression marker.
+    suppressed: list[Violation] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    #: Whether the whole-program tier ran.
+    deep: bool = False
+    #: Whether the project model came from the on-disk cache unchanged.
+    model_cached: bool = False
+    #: rule id -> one-line summary (feeds the SARIF rule catalogue).
+    rule_meta: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -47,6 +79,53 @@ class AnalysisReport:
         for violation in self.violations:
             counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
         return counts
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Accepted findings, matched on ``(rule id, posix path)``.
+
+    Deliberately line-insensitive: edits above a baselined finding must
+    not resurrect it, while any *new* rule/file pairing still fails the
+    run.  Tightening is monotone — fixing the last finding of a pair
+    makes the entry dead weight that ``--write-baseline`` drops.
+    """
+
+    entries: frozenset[tuple[str, str]]
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline | None":
+        """Read a baseline file; None when it does not exist."""
+        file = Path(path)
+        if not file.is_file():
+            return None
+        payload = json.loads(file.read_text(encoding="utf-8"))
+        return cls(
+            entries=frozenset(
+                (entry["rule"], entry["path"])
+                for entry in payload.get("entries", [])
+            )
+        )
+
+    def matches(self, violation: Violation) -> bool:
+        key = (violation.rule_id, violation.path.replace("\\", "/"))
+        return key in self.entries
+
+    @staticmethod
+    def render(violations: Sequence[Violation]) -> str:
+        """Serialise ``violations`` as a fresh baseline document."""
+        entries = sorted(
+            {(v.rule_id, v.path.replace("\\", "/")) for v in violations}
+        )
+        return json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"rule": rule, "path": path} for rule, path in entries
+                ],
+            },
+            indent=2,
+        ) + "\n"
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -77,23 +156,50 @@ def module_name_for(path: Path, root: Path | None = None) -> str:
     return ".".join(parts) or resolved.stem
 
 
+def split_select(
+    select: list[str] | None,
+) -> tuple[list[str] | None, list[str] | None]:
+    """Partition ``--select`` ids into (per-file ids, project ids).
+
+    Raises ValueError on ids known to neither tier; (None, None) when no
+    selection was given (meaning: run everything).
+    """
+    if select is None:
+        return None, None
+    file_known = set(rule_ids())
+    project_known = set(project_rule_ids())
+    unknown = sorted(set(select) - file_known - project_known)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)}; known: "
+            f"{', '.join(sorted(file_known | project_known))}"
+        )
+    return (
+        [s for s in select if s in file_known],
+        [s for s in select if s in project_known],
+    )
+
+
 def run_analysis(
     paths: Sequence[str | Path] | None = None,
     *,
     select: list[str] | None = None,
     root: str | Path | None = None,
 ) -> AnalysisReport:
-    """Run the (selected) rule suite over ``paths``.
+    """Run the (selected) per-file rule suite over ``paths``.
 
     ``paths`` defaults to the ``src``/``benchmarks``/``examples`` roots
     that exist under ``root`` (itself defaulting to the current working
-    directory).  Violations are sorted by location; per-file suppressions
-    (``# lint: ignore[rule-id]``) are already applied.
+    directory).  Violations are sorted by location; file-wide
+    (``# lint: ignore[rule-id]``) and line-scoped
+    (``# lint: ignore-next-line[rule-id]``) suppressions are applied.
     """
+    start = time.perf_counter()
     base = Path(root) if root is not None else Path.cwd()
     if paths is None:
         paths = [base / name for name in DEFAULT_ROOTS if (base / name).is_dir()]
     rules = all_rules(select)
+    contexts: dict[str, FileContext] = {}
     violations: list[Violation] = []
     parse_errors: list[Violation] = []
     files_checked = 0
@@ -116,15 +222,79 @@ def run_analysis(
                 )
             )
             continue
+        contexts[ctx.path] = ctx
         violations.extend(_check_file(ctx, rules))
     for rule in rules:
         violations.extend(rule.finish())
+    violations = _apply_suppressions(violations, contexts)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return AnalysisReport(
         violations=violations,
         files_checked=files_checked,
         rule_ids=[rule.rule_id for rule in rules],
         parse_errors=parse_errors,
+        duration_seconds=time.perf_counter() - start,
+        rule_meta={rule.rule_id: rule.summary for rule in rules},
+    )
+
+
+def run_deep_analysis(
+    paths: Sequence[str | Path] | None = None,
+    *,
+    select: list[str] | None = None,
+    root: str | Path | None = None,
+    baseline: Baseline | None = None,
+    model_cache: str | Path | None = None,
+) -> AnalysisReport:
+    """Run the per-file suite *and* the whole-program tier.
+
+    The :class:`~repro.analysis.project.ProjectModel` is built once (or
+    loaded from ``model_cache`` when no file changed) and its parsed
+    contexts are reused for the per-file pass, so ``--deep`` costs one
+    parse of the tree, not two.  ``baseline`` entries silence matching
+    findings into :attr:`AnalysisReport.suppressed`.
+    """
+    from .project import ProjectModel
+
+    start = time.perf_counter()
+    file_select, project_select = split_select(select)
+    model = ProjectModel.load_or_build(
+        paths, root=root, cache_path=model_cache
+    )
+    rules = all_rules(file_select)
+    project_rules = all_project_rules(project_select)
+    violations: list[Violation] = []
+    for ctx in model.contexts.values():
+        violations.extend(_check_file(ctx, rules))
+    for rule in rules:
+        violations.extend(rule.finish())
+    for project_rule in project_rules:
+        violations.extend(project_rule.check_project(model))
+    contexts = {ctx.path: ctx for ctx in model.contexts.values()}
+    violations = _apply_suppressions(violations, contexts)
+    suppressed: list[Violation] = []
+    if baseline is not None:
+        kept: list[Violation] = []
+        for violation in violations:
+            if baseline.matches(violation):
+                suppressed.append(violation)
+            else:
+                kept.append(violation)
+        violations = kept
+    order = lambda v: (v.path, v.line, v.col, v.rule_id)  # noqa: E731
+    violations.sort(key=order)
+    suppressed.sort(key=order)
+    all_checked = rules + project_rules
+    return AnalysisReport(
+        violations=violations,
+        files_checked=len(model.contexts) + len(model.parse_errors),
+        rule_ids=[rule.rule_id for rule in all_checked],
+        parse_errors=list(model.parse_errors),
+        suppressed=suppressed,
+        duration_seconds=time.perf_counter() - start,
+        deep=True,
+        model_cached=model.from_cache,
+        rule_meta={rule.rule_id: rule.summary for rule in all_checked},
     )
 
 
@@ -135,12 +305,38 @@ def check_source(
     path: str = "<string>",
     select: list[str] | None = None,
 ) -> list[Violation]:
-    """Run rules over one source string (the test-fixture entry point)."""
+    """Run per-file rules over one source string (test-fixture entry)."""
     ctx = FileContext.from_source(source, path=path, module=module)
     rules = all_rules(select)
     violations = _check_file(ctx, rules)
     for rule in rules:
         violations.extend(rule.finish())
+    violations = _apply_suppressions(violations, {ctx.path: ctx})
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations
+
+
+def check_project_sources(
+    sources: Mapping[str, str],
+    *,
+    docs: Mapping[str, str] | None = None,
+    select: list[str] | None = None,
+) -> list[Violation]:
+    """Run project rules over in-memory ``{module: source}`` fixtures.
+
+    Only the whole-program tier runs (fixtures for per-file rules go
+    through :func:`check_source`); ``docs`` feeds artifacts such as the
+    metric reference table.
+    """
+    from .project import ProjectModel
+
+    _, project_select = split_select(select)
+    model = ProjectModel.from_sources(sources, docs=docs)
+    violations: list[Violation] = []
+    for rule in all_project_rules(project_select):
+        violations.extend(rule.check_project(model))
+    contexts = {ctx.path: ctx for ctx in model.contexts.values()}
+    violations = _apply_suppressions(violations, contexts)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return violations
 
@@ -152,6 +348,27 @@ def _check_file(ctx: FileContext, rules: list[Rule]) -> list[Violation]:
             continue
         found.extend(rule.check(ctx))
     return found
+
+
+def _apply_suppressions(
+    violations: list[Violation], contexts: Mapping[str, FileContext]
+) -> list[Violation]:
+    """Drop findings silenced by file-wide or line-scoped markers.
+
+    Catches what the per-rule skip in :func:`_check_file` cannot:
+    line-scoped markers, ``finish()`` findings, and project-rule findings
+    anchored in files whose rules were never individually skipped.
+    Findings in non-Python artifacts (no context) pass through.
+    """
+    kept: list[Violation] = []
+    for violation in violations:
+        ctx = contexts.get(violation.path)
+        if ctx is not None and ctx.suppressed_at(
+            violation.rule_id, violation.line
+        ):
+            continue
+        kept.append(violation)
+    return kept
 
 
 def _display_path(path: Path, base: Path) -> str:

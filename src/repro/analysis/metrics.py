@@ -1,0 +1,186 @@
+"""The reconciled metric surface: code vs docs vs Prometheus exposition.
+
+The observability layer now registers ~60 instruments from call sites
+spread across the tree.  Three views of that surface must agree:
+
+* the **code** view — every literal name passed to a
+  ``registry.counter/gauge/histogram`` factory call;
+* the **docs** view — the generated metric-reference table in
+  ``docs/architecture.md`` (between the :data:`MARKER_START` /
+  :data:`MARKER_END` comments);
+* the **exposition** view — the Prometheus series name each instrument
+  maps to (``repro.obs.export.prom_series_name``), which must be
+  collision-free after dot-to-underscore sanitisation.
+
+:func:`collect_metric_surface` extracts the code view from a
+:class:`~repro.analysis.project.ProjectModel`;
+:func:`render_metrics_markdown` / :func:`render_metrics_json` render it
+(the ``lfo lint --metrics-dump`` output, and what
+``tools/update_metrics_doc.py`` splices into the docs); and
+:func:`parse_doc_table` reads the docs view back for the
+``xf-metric-surface`` rule to reconcile.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .project import ProjectModel
+
+__all__ = [
+    "MARKER_END",
+    "MARKER_START",
+    "MetricInfo",
+    "collect_metric_surface",
+    "parse_doc_table",
+    "render_metrics_json",
+    "render_metrics_markdown",
+    "splice_doc_table",
+]
+
+MARKER_START = "<!-- metric-surface:begin -->"
+MARKER_END = "<!-- metric-surface:end -->"
+
+#: Span/event names live in their own namespace (no exposition series of
+#: their own beyond the span summary) and are excluded from the table.
+_TABLE_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricInfo:
+    """One instrument: dotted name, kind, exposition series, first site."""
+
+    __slots__ = ("name", "kind", "prom", "path", "line")
+
+    def __init__(
+        self, name: str, kind: str, prom: str, path: str, line: int
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.prom = prom
+        self.path = path
+        self.line = line
+
+
+def prom_series_name(name: str, kind: str, prefix: str = "repro") -> str:
+    """Exposition series name (re-exported from ``repro.obs.export``)."""
+    from ..obs.export import prom_series_name as _impl
+
+    return _impl(name, kind, prefix)
+
+
+def collect_metric_surface(model: "ProjectModel") -> list[MetricInfo]:
+    """Every literal counter/gauge/histogram name registered in code.
+
+    One entry per ``(name, kind)`` pair, anchored at the first
+    registration site in ``(path, line)`` order; span/event names are
+    excluded (own namespace).  Kind conflicts are *not* collapsed — the
+    per-file ``obs-name-unique`` rule owns that invariant — so a name
+    registered as two kinds yields two entries for the reconciler to see.
+    """
+    # Imported lazily: the rules package imports this module (via
+    # ``rules.crossfile``), so a top-level import here would be circular.
+    from .rules.obs import _is_forwarded_param, _iter_factory_calls
+
+    sites: dict[tuple[str, str], tuple[str, int]] = {}
+    for ctx in model.contexts.values():
+        for kind, call, stack in _iter_factory_calls(ctx.tree):
+            if kind not in _TABLE_KINDS:
+                continue
+            name_arg = call.args[0] if call.args else None
+            if not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                continue
+            if _is_forwarded_param(name_arg, stack):
+                continue
+            key = (name_arg.value, kind)
+            site = (ctx.path, name_arg.lineno)
+            if key not in sites or site < sites[key]:
+                sites[key] = site
+    return [
+        MetricInfo(
+            name=name,
+            kind=kind,
+            prom=prom_series_name(name, kind),
+            path=path,
+            line=line,
+        )
+        for (name, kind), (path, line) in sorted(sites.items())
+    ]
+
+
+def render_metrics_markdown(infos: list[MetricInfo]) -> str:
+    """The docs table body (what sits between the generated markers)."""
+    lines = [
+        "| Metric | Kind | Prometheus series |",
+        "| --- | --- | --- |",
+    ]
+    for info in infos:
+        lines.append(f"| `{info.name}` | {info.kind} | `{info.prom}` |")
+    return "\n".join(lines)
+
+
+def render_metrics_json(infos: list[MetricInfo]) -> str:
+    """Machine-readable reconciliation table (``--metrics-dump json``)."""
+    return json.dumps(
+        {
+            "metrics": [
+                {
+                    "name": info.name,
+                    "kind": info.kind,
+                    "prometheus": info.prom,
+                    "registered_at": f"{info.path}:{info.line}",
+                }
+                for info in infos
+            ]
+        },
+        indent=2,
+    )
+
+
+def parse_doc_table(text: str) -> list[tuple[str, str, str]] | None:
+    """Parse the generated table out of a docs file.
+
+    Returns ``(name, kind, prometheus_series)`` rows, or None when the
+    marker pair is missing entirely (a distinct finding: the docs have no
+    metric reference to reconcile against).
+    """
+    start = text.find(MARKER_START)
+    end = text.find(MARKER_END)
+    if start < 0 or end < 0 or end < start:
+        return None
+    rows: list[tuple[str, str, str]] = []
+    body = text[start + len(MARKER_START) : end]
+    for line in body.splitlines():
+        line = line.strip()
+        if not line.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if len(cells) != 3 or cells[0] in ("Metric", "---", "--- "):
+            continue
+        if set(cells[0]) <= {"-", " "}:
+            continue
+        name = cells[0].strip("`")
+        kind = cells[1]
+        prom = cells[2].strip("`")
+        rows.append((name, kind, prom))
+    return rows
+
+
+def splice_doc_table(text: str, table: str) -> str | None:
+    """Replace the between-markers block of ``text`` with ``table``.
+
+    Returns the updated document, or None when the markers are absent
+    (the caller decides whether that is an error or a fresh insert).
+    """
+    start = text.find(MARKER_START)
+    end = text.find(MARKER_END)
+    if start < 0 or end < 0 or end < start:
+        return None
+    head = text[: start + len(MARKER_START)]
+    tail = text[end:]
+    return f"{head}\n{table}\n{tail}"

@@ -163,7 +163,9 @@ class IRLCache(CachePolicy):
         if hit:
             self._rank(request.obj, reward)
             self._lru.move_to_end(request.obj)
-        elif request.size <= self.cache_size and (
+        else:
+            self._on_miss_observed(request)
+        if not hit and request.size <= self.cache_size and (
             self.model is None or reward > 0.0
         ):
             while self.used_bytes + request.size > self.cache_size:

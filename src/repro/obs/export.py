@@ -14,7 +14,7 @@ import re
 from pathlib import Path
 from typing import Union
 
-__all__ = ["render_prometheus", "write_json", "JsonlSink"]
+__all__ = ["prom_series_name", "render_prometheus", "write_json", "JsonlSink"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 _LEADING_DIGIT_RE = re.compile(r"^[0-9]")
@@ -31,6 +31,20 @@ def _prom_name(prefix: str, name: str) -> str:
     if _LEADING_DIGIT_RE.match(flat):
         flat = "_" + flat
     return flat
+
+
+def prom_series_name(name: str, kind: str, prefix: str = "repro") -> str:
+    """The exposition-format series name for one instrument.
+
+    Counters carry the conventional ``_total`` suffix; gauges expose the
+    sanitised name directly; histograms return the metric *family* base
+    name (the ``_bucket``/``_sum``/``_count`` series hang off it).  This
+    is the single naming authority shared by :func:`render_prometheus`
+    and the ``xf-metric-surface`` deep-lint rule, so the documented
+    exposition names cannot drift from what the exporter emits.
+    """
+    base = _prom_name(prefix, name)
+    return base + "_total" if kind == "counter" else base
 
 
 def _escape_label_value(value: str) -> str:
@@ -61,17 +75,17 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     lines: list[str] = []
 
     for name, value in sorted(snapshot.get("counters", {}).items()):
-        metric = _prom_name(prefix, name) + "_total"
+        metric = prom_series_name(name, "counter", prefix)
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {value}")
 
     for name, value in sorted(snapshot.get("gauges", {}).items()):
-        metric = _prom_name(prefix, name)
+        metric = prom_series_name(name, "gauge", prefix)
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {value}")
 
     for name, hist in sorted(snapshot.get("histograms", {}).items()):
-        metric = _prom_name(prefix, name)
+        metric = prom_series_name(name, "histogram", prefix)
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for bound, count in hist["buckets"]:

@@ -720,6 +720,45 @@ class SuppressionTest(unittest.TestCase):
         )
         self.assertIn("det-rng", violations(source))
 
+    def test_line_scoped_suppression(self) -> None:
+        source = (
+            "import numpy as np\n"
+            "# lint: ignore-next-line[det-rng]  # fixture\n"
+            "rng = np.random.default_rng()\n"
+        )
+        self.assertEqual([], violations(source, select=["det-rng"]))
+
+    def test_line_scoped_suppression_only_covers_next_line(self) -> None:
+        source = (
+            "import numpy as np\n"
+            "# lint: ignore-next-line[det-rng]  # fixture\n"
+            "a = np.random.default_rng()\n"
+            "b = np.random.default_rng()\n"
+        )
+        found = check_source(
+            textwrap.dedent(source),
+            module="repro.sim.fake",
+            select=["det-rng"],
+        )
+        self.assertEqual([4], [v.line for v in found])
+
+    def test_line_scoped_suppression_is_per_rule(self) -> None:
+        source = (
+            "# lint: ignore-next-line[det-wallclock]  # fixture\n"
+            "import random\n"
+            "x = random.random()\n"
+        )
+        self.assertIn("det-rng", violations(source, select=["det-rng"]))
+
+    def test_line_scoped_marker_does_not_suppress_file_wide(self) -> None:
+        # The file-wide regex must not also match the next-line form.
+        source = (
+            "# lint: ignore-next-line[det-rng]  # fixture\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+        )
+        self.assertIn("det-rng", violations(source, select=["det-rng"]))
+
 
 class EngineTest(unittest.TestCase):
     def test_unknown_select_rejected(self) -> None:

@@ -1,0 +1,263 @@
+"""Tests for the lint reporters and baseline machinery.
+
+The JSON key set and the SARIF structure are interchange contracts (CI
+archives both as artifacts), so these tests pin them: exit codes, JSON
+schema stability, SARIF 2.1.0 structural validity, the empty and
+baseline-suppressed paths, and the baseline round-trip.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import tempfile
+import unittest
+from pathlib import Path
+
+from repro.analysis import (
+    AnalysisReport,
+    Baseline,
+    Violation,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.cli import main
+
+
+def _violation(
+    rule: str = "det-rng",
+    path: str = "src/repro/sim/bad.py",
+    line: int = 3,
+    message: str = "unseeded RNG",
+) -> Violation:
+    return Violation(rule_id=rule, path=path, line=line, col=5, message=message)
+
+
+def _report(**overrides: object) -> AnalysisReport:
+    base: dict = dict(
+        violations=[],
+        files_checked=4,
+        rule_ids=["det-rng", "xf-policy-contract"],
+        rule_meta={
+            "det-rng": "No unseeded RNG in deterministic scopes",
+            "xf-policy-contract": "CachePolicy subclasses honour the contract",
+        },
+        duration_seconds=0.1234,
+    )
+    base.update(overrides)
+    return AnalysisReport(**base)
+
+
+class JsonReporterTest(unittest.TestCase):
+    #: The exact top-level key set CI tooling parses; changing it is an
+    #: interface break, not a refactor.
+    KEYS = {
+        "ok",
+        "files_checked",
+        "rules",
+        "counts",
+        "violations",
+        "parse_errors",
+        "suppressed",
+        "deep",
+        "model_cached",
+        "duration_seconds",
+    }
+
+    def test_key_set_is_stable(self) -> None:
+        document = json.loads(render_json(_report()))
+        self.assertEqual(self.KEYS, set(document))
+
+    def test_clean_report(self) -> None:
+        document = json.loads(render_json(_report()))
+        self.assertTrue(document["ok"])
+        self.assertEqual([], document["violations"])
+        self.assertEqual({}, document["counts"])
+        self.assertEqual(0.123, document["duration_seconds"])
+
+    def test_violations_and_suppressed_serialised(self) -> None:
+        document = json.loads(
+            render_json(
+                _report(
+                    violations=[_violation()],
+                    suppressed=[_violation(rule="rob-broad-except")],
+                    deep=True,
+                    model_cached=True,
+                )
+            )
+        )
+        self.assertFalse(document["ok"])
+        self.assertTrue(document["deep"])
+        self.assertTrue(document["model_cached"])
+        self.assertEqual({"det-rng": 1}, document["counts"])
+        entry = document["violations"][0]
+        self.assertEqual(
+            {"rule", "path", "line", "col", "message"}, set(entry)
+        )
+        self.assertEqual(
+            "rob-broad-except", document["suppressed"][0]["rule"]
+        )
+
+
+class SarifReporterTest(unittest.TestCase):
+    def _run(self, report: AnalysisReport) -> dict:
+        document = json.loads(render_sarif(report))
+        self.assertEqual(
+            "https://json.schemastore.org/sarif-2.1.0.json",
+            document["$schema"],
+        )
+        self.assertEqual("2.1.0", document["version"])
+        self.assertEqual(1, len(document["runs"]))
+        return document["runs"][0]
+
+    def test_empty_report_structure(self) -> None:
+        run = self._run(_report())
+        self.assertEqual("lfo-lint", run["tool"]["driver"]["name"])
+        self.assertEqual([], run["results"])
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        self.assertEqual(["det-rng", "xf-policy-contract"], rule_ids)
+        for rule in run["tool"]["driver"]["rules"]:
+            self.assertTrue(rule["shortDescription"]["text"])
+
+    def test_result_location_and_region(self) -> None:
+        run = self._run(_report(violations=[_violation()]))
+        result = run["results"][0]
+        self.assertEqual("det-rng", result["ruleId"])
+        self.assertEqual("error", result["level"])
+        self.assertEqual("unseeded RNG", result["message"]["text"])
+        location = result["locations"][0]["physicalLocation"]
+        self.assertEqual(
+            "src/repro/sim/bad.py",
+            location["artifactLocation"]["uri"],
+        )
+        self.assertEqual(3, location["region"]["startLine"])
+        self.assertNotIn("suppressions", result)
+
+    def test_region_clamped_to_one(self) -> None:
+        run = self._run(
+            _report(violations=[_violation(line=0)])
+        )
+        region = run["results"][0]["locations"][0]["physicalLocation"][
+            "region"
+        ]
+        self.assertEqual(1, region["startLine"])
+        self.assertGreaterEqual(region["startColumn"], 1)
+
+    def test_baseline_suppressed_marked_external(self) -> None:
+        run = self._run(
+            _report(
+                violations=[_violation()],
+                suppressed=[_violation(rule="obs-literal-name")],
+            )
+        )
+        by_rule = {r["ruleId"]: r for r in run["results"]}
+        self.assertNotIn("suppressions", by_rule["det-rng"])
+        self.assertEqual(
+            [{"kind": "external"}],
+            by_rule["obs-literal-name"]["suppressions"],
+        )
+
+    def test_parse_errors_under_synthetic_rule(self) -> None:
+        run = self._run(
+            _report(
+                parse_errors=[
+                    _violation(
+                        rule="parse-error", message="invalid syntax"
+                    )
+                ]
+            )
+        )
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        self.assertIn("parse-error", rule_ids)
+        self.assertEqual("parse-error", run["results"][0]["ruleId"])
+
+
+class TextReporterTest(unittest.TestCase):
+    def test_clean_and_deep_tags(self) -> None:
+        self.assertIn("ok: 4 file(s) clean", render_text(_report()))
+        self.assertIn("(deep)", render_text(_report(deep=True)))
+        self.assertNotIn("(deep)", render_text(_report()))
+
+    def test_breakdown_and_suppressed_line(self) -> None:
+        text = render_text(
+            _report(
+                violations=[_violation(), _violation(line=9)],
+                suppressed=[_violation(rule="rob-broad-except")],
+            )
+        )
+        self.assertIn("2 violation(s) in 4 file(s) (det-rng=2)", text)
+        self.assertIn("1 finding(s) suppressed by baseline", text)
+
+
+class BaselineTest(unittest.TestCase):
+    def test_render_load_round_trip(self) -> None:
+        rendered = Baseline.render([_violation(), _violation(line=99)])
+        payload = json.loads(rendered)
+        self.assertEqual(1, payload["version"])
+        self.assertEqual(1, len(payload["entries"]))  # same (rule, path)
+        with tempfile.TemporaryDirectory() as tmp:
+            target = Path(tmp) / "baseline.json"
+            target.write_text(rendered)
+            baseline = Baseline.load(target)
+        assert baseline is not None
+        self.assertTrue(baseline.matches(_violation(line=12345)))
+        self.assertFalse(baseline.matches(_violation(rule="other-rule")))
+        self.assertFalse(
+            baseline.matches(_violation(path="src/repro/other.py"))
+        )
+
+    def test_load_missing_file_is_none(self) -> None:
+        self.assertIsNone(Baseline.load("/nonexistent/baseline.json"))
+
+
+class ExitCodeTest(unittest.TestCase):
+    def _lint(self, *argv: str) -> tuple[int, str]:
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout), contextlib.redirect_stderr(
+            io.StringIO()
+        ):
+            code = main(["lint", *argv])
+        return code, stdout.getvalue()
+
+    def test_clean_file_exits_zero(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            clean = Path(tmp) / "clean.py"
+            clean.write_text('"""Fine."""\n\nX = 1\n')
+            code, _ = self._lint(str(clean))
+        self.assertEqual(0, code)
+
+    def test_violation_exits_one_in_every_format(self) -> None:
+        # Scope-gated rules key off the dotted module name, which is
+        # derived relative to the working directory — lint from the
+        # fixture tree's root so repro/sim/bad.py means repro.sim.bad.
+        cwd = os.getcwd()
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = Path(tmp) / "repro" / "sim" / "bad.py"
+            bad.parent.mkdir(parents=True)
+            bad.write_text(
+                '"""Bad."""\n\nimport random\n\n\n'
+                "def f():\n    return random.random()\n"
+            )
+            try:
+                os.chdir(tmp)
+                for fmt in ("text", "json", "sarif"):
+                    code, out = self._lint(
+                        "repro/sim/bad.py", "--format", fmt
+                    )
+                    self.assertEqual(1, code, fmt)
+                    self.assertTrue(out.strip(), fmt)
+                code, out = self._lint("repro/sim/bad.py", "--format", "json")
+                self.assertFalse(json.loads(out)["ok"])
+            finally:
+                os.chdir(cwd)
+
+    def test_unknown_rule_id_exits_two(self) -> None:
+        code, _ = self._lint("--select", "no-such-rule")
+        self.assertEqual(2, code)
+
+
+if __name__ == "__main__":
+    unittest.main()
