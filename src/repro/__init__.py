@@ -38,6 +38,14 @@ from .obs import (
     use_registry,
 )
 from .opt import opt_hit_ratios, solve_opt, solve_pruned, solve_segmented
+from .serve import (
+    ServeConfig,
+    ServeReport,
+    ServingLoop,
+    SyntheticArrivalDriver,
+    TraceReplayDriver,
+    default_serving_slo,
+)
 from .sim import compare_policies, format_table, simulate
 from .trace import (
     CostModel,
@@ -71,6 +79,12 @@ __all__ = [
     "solve_opt",
     "solve_pruned",
     "solve_segmented",
+    "ServeConfig",
+    "ServeReport",
+    "ServingLoop",
+    "SyntheticArrivalDriver",
+    "TraceReplayDriver",
+    "default_serving_slo",
     "compare_policies",
     "format_table",
     "simulate",

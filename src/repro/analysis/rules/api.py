@@ -19,6 +19,7 @@ PUBLIC_API_SCOPES = (
     "repro.core",
     "repro.obs",
     "repro.opt",
+    "repro.serve",
     "repro.sim",
     "repro.trace",
     "repro.analysis",

@@ -31,6 +31,9 @@ DETERMINISTIC_SCOPES = (
     # the wall-interval mode takes an injectable clock and the default is
     # the monotonic perf_counter, never the wall clock.
     "repro.obs",
+    # The serving harness replays traces deterministically: arrival
+    # processes draw from seeded generators, latency uses perf_counter.
+    "repro.serve",
     "benchmarks",
 )
 

@@ -10,6 +10,8 @@ Installed as the ``lfo`` console script::
     lfo simulate trace.bin --window 5000 --metrics-out metrics.json
     lfo health trace.bin --check
     lfo health trace.bin --follow --serve-metrics 9100
+    lfo serve trace.bin --serve-metrics 9100 --follow
+    lfo serve --synthetic 20000 --slo slo.json --check
     lfo lint --deep --format sarif
     lfo lint --metrics-dump md
 
@@ -313,6 +315,176 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .obs import (
+        HealthConfig,
+        HealthMonitor,
+        JsonlSink,
+        MetricsServer,
+        SloEngine,
+        SloSpec,
+        WindowedRegistry,
+    )
+    from .resilience import SimulatedTrainerExecutor
+    from .serve import (
+        ServeConfig,
+        ServingLoop,
+        SyntheticArrivalDriver,
+        TraceReplayDriver,
+        default_serving_slo,
+    )
+
+    if args.slo:
+        try:
+            spec = SloSpec.from_json(args.slo)
+        except (OSError, ValueError, KeyError) as exc:
+            _diag(f"invalid SLO spec {args.slo}: {exc}")
+            return 2
+    else:
+        spec = default_serving_slo()
+    registry = WindowedRegistry(
+        every_requests=args.every, ring=args.ring,
+        request_counter="serve.requests",
+    )
+    monitor = HealthMonitor(HealthConfig()).attach(registry)
+    engine = SloEngine(spec).attach(registry)
+    if args.follow:
+        registry.on_close(_render_serve_window)
+    if args.jsonl:
+        JsonlSink(args.jsonl).attach(registry)
+        _diag(f"streaming closed windows to {args.jsonl}")
+    server = None
+    if args.serve_metrics is not None:
+        server = MetricsServer(
+            registry, port=args.serve_metrics, health=monitor, slo=engine
+        ).start()
+        _diag(
+            "serving /metrics /health /windows on "
+            f"http://127.0.0.1:{server.port}"
+        )
+    interrupted = False
+    try:
+        with use_registry(registry), _fault_plan_scope(args):
+            if args.synthetic:
+                trace = generate_trace(
+                    SyntheticConfig(n_requests=args.synthetic, seed=args.seed)
+                )
+                _diag(f"serving a synthetic trace of {len(trace)} requests")
+            elif args.trace:
+                trace = _trace_from_args(args)
+            else:
+                _diag("serve needs a trace path or --synthetic N")
+                return 2
+            cache_size = _resolve_cache(args, trace)
+            _diag(
+                f"serving {len(trace)} requests, cache {cache_size} bytes, "
+                f"training window {args.window}, queue {args.queue_depth}, "
+                f"batch {args.max_batch}"
+            )
+            executor = (
+                SimulatedTrainerExecutor()
+                if args.trainer == "inline"
+                else None  # LFOOnline owns a background thread trainer
+            )
+            lfo = LFOOnline(
+                cache_size,
+                window=args.window,
+                cutoff=args.cutoff,
+                label_config=OptLabelConfig(
+                    mode=args.label_mode, segment_length=args.segment
+                ),
+                background=True,
+                executor=executor,
+                train_deadline=args.train_deadline,
+                staleness_limit=args.staleness_limit,
+                retry_backoff=args.retry_backoff,
+            )
+            requests = list(trace)
+            if args.arrival_rate > 0:
+                driver = SyntheticArrivalDriver(
+                    requests, rate=args.arrival_rate, seed=args.seed
+                )
+            else:
+                driver = TraceReplayDriver(requests)
+            loop = ServingLoop(
+                lfo, driver,
+                ServeConfig(
+                    queue_depth=args.queue_depth, max_batch=args.max_batch
+                ),
+            )
+            try:
+                report = asyncio.run(loop.run())
+            except KeyboardInterrupt:
+                interrupted = True
+                report = loop.report
+                _diag(
+                    "interrupted: queue drained through the scorer, "
+                    "telemetry flushed"
+                )
+            finally:
+                if executor is not None:
+                    # End of drill: un-park any fault-plan-hung training
+                    # job so close() can drain it instead of waiting on a
+                    # future that will never complete.
+                    executor.release_hung()
+                lfo.close()
+                if executor is not None:
+                    executor.shutdown(cancel_futures=True)
+    finally:
+        if server is not None:
+            server.stop()
+    verdict = {
+        "ok": engine.ok and monitor.ok and report.dropped == 0,
+        "interrupted": interrupted,
+        "slo": engine.verdict(),
+        "health": monitor.status(),
+        "serve": report.as_dict(),
+    }
+    if args.windows_out:
+        with open(args.windows_out, "w") as handle:
+            json.dump(registry.to_windows_dict(), handle, indent=2)
+            handle.write("\n")
+        _diag(f"window ring written to {args.windows_out}")
+    if args.check:
+        print(json.dumps(verdict, indent=2))
+        return 0 if verdict["ok"] else 1
+    bhr = report.bhr
+    print(f"verdict    {'HEALTHY' if verdict['ok'] else 'UNHEALTHY'}")
+    print(f"requests   {report.requests}"
+          f"{' (interrupted, drained)' if interrupted else ''}")
+    print(f"BHR        {'  --  ' if bhr is None else format(bhr, '.4f')}")
+    print(f"handoffs   {report.model_handoffs}")
+    print(f"dropped    {report.dropped}")
+    print(f"waits      {report.backpressure_waits} (backpressure)")
+    print(f"alerts     {len(monitor.alerts)}")
+    for alert in monitor.alerts:
+        print(f"  [{alert.kind}] window {alert.window_index}: "
+              f"{alert.message}")
+    for name, objective in engine.verdict()["objectives"].items():
+        state = "ok" if objective["ok"] else "BREACHED"
+        print(
+            f"slo {name:<24} {state:<9} "
+            f"burn {objective['burn_rate']:.2f} "
+            f"last {objective['last_value']:.6g}"
+        )
+    return 0 if verdict["ok"] else 1
+
+
+def _render_serve_window(snapshot) -> None:
+    """One ``--follow`` line per closed serving window (stderr)."""
+    bhr = snapshot.bhr
+    p99 = snapshot.quantile("serve.decision_latency_seconds", 0.99)
+    _diag(
+        f"window {snapshot.index:>4}  requests {snapshot.requests:>7}  "
+        f"bhr {'  --  ' if bhr is None else format(bhr, '.4f')}  "
+        f"p99 {p99 * 1e6:9.1f}us  "
+        f"queue {int(snapshot.gauges.get('serve.queue_depth', 0)):>5}  "
+        f"handoffs {int(snapshot.delta('serve.model_handoffs')):>3}"
+    )
+
+
 def _render_window(snapshot) -> None:
     """One ``--follow`` line per closed telemetry window (stderr)."""
     bhr = snapshot.bhr
@@ -589,6 +761,85 @@ def build_parser() -> argparse.ArgumentParser:
     p_health.add_argument("--fault-plan", metavar="PATH", default=None,
                           help="JSON fault plan installed for the run")
     p_health.set_defaults(func=_cmd_health)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the always-on serving loop: bounded queue, batched "
+             "scoring, background retraining with warm handoff, live SLOs",
+    )
+    p_serve.add_argument("trace", nargs="?", default=None,
+                         help="trace path (.bin or text); omit with "
+                              "--synthetic")
+    p_serve.add_argument("--tolerant-trace", action="store_true",
+                         help="skip-and-count malformed text-trace lines "
+                              "instead of aborting on the first one")
+    p_serve.add_argument("--synthetic", type=int, metavar="N", default=None,
+                         help="serve a generated synthetic trace of N "
+                              "requests instead of a trace file")
+    p_serve.add_argument("--seed", type=int, default=42,
+                         help="seed for --synthetic generation and the "
+                              "--arrival-rate process")
+    p_serve.add_argument("--cache-fraction", type=int, default=10,
+                         help="cache = footprint / fraction (default 10)")
+    p_serve.add_argument("--cache-mb", type=float,
+                         help="cache size in MB (overrides fraction)")
+    p_serve.add_argument("--cache-bytes", type=int,
+                         help="cache size in bytes (overrides everything)")
+    p_serve.add_argument("--window", type=int, default=5_000,
+                         help="training window (requests)")
+    p_serve.add_argument("--segment", type=int, default=1_000)
+    p_serve.add_argument("--label-mode", default="segmented",
+                         choices=("exact", "segmented", "pruned"))
+    p_serve.add_argument("--cutoff", type=float, default=0.5)
+    p_serve.add_argument("--every", type=int, default=2_000,
+                         help="telemetry window (requests per snapshot)")
+    p_serve.add_argument("--ring", type=int, default=120,
+                         help="telemetry windows retained in the ring")
+    p_serve.add_argument("--queue-depth", type=int, default=1024,
+                         help="ingestion queue bound: a full queue waits "
+                              "the driver (backpressure), never drops")
+    p_serve.add_argument("--max-batch", type=int, default=256,
+                         help="max requests scored per speculative batch")
+    p_serve.add_argument("--arrival-rate", type=float, default=0.0,
+                         help="requests/second for the Poisson arrival "
+                              "driver (0 = replay at queue speed)")
+    p_serve.add_argument("--slo", metavar="PATH", default=None,
+                         help="SLO spec JSON (SloSpec.as_dict shape); "
+                              "default: serving objectives (p50/p99/p999 "
+                              "decision latency, BHR, staleness)")
+    p_serve.add_argument("--trainer", choices=("thread", "inline"),
+                         default="thread",
+                         help="background trainer: a worker thread "
+                              "(production shape) or the deterministic "
+                              "inline harness used for fault drills")
+    p_serve.add_argument("--train-deadline", type=int, default=None,
+                         help="watchdog: cancel a training job still in "
+                              "flight after this many requests")
+    p_serve.add_argument("--staleness-limit", type=int, default=None,
+                         help="degrade admission to the LRU fallback after "
+                              "this many windows without a fresh model")
+    p_serve.add_argument("--retry-backoff", type=int, default=0,
+                         help="windows to skip after a training failure "
+                              "(doubles per consecutive failure)")
+    p_serve.add_argument("--fault-plan", metavar="PATH", default=None,
+                         help="JSON fault plan installed for the run")
+    p_serve.add_argument("--serve-metrics", type=int, metavar="PORT",
+                         default=None,
+                         help="serve /metrics, /health and /windows over "
+                              "HTTP on PORT for the duration of the run "
+                              "(0 = ephemeral port, printed to stderr)")
+    p_serve.add_argument("--jsonl", metavar="PATH", default=None,
+                         help="append each closed telemetry window to PATH "
+                              "as one JSON line")
+    p_serve.add_argument("--windows-out", metavar="PATH", default=None,
+                         help="write the final window-ring dump as JSON")
+    p_serve.add_argument("--check", action="store_true",
+                         help="print the verdict JSON and exit 1 when any "
+                              "SLO is breached, any health alert fired, or "
+                              "any request was dropped")
+    p_serve.add_argument("--follow", action="store_true",
+                         help="render each telemetry window live to stderr")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_hrc = sub.add_parser(
         "hrc", help="print the trace's LRU hit-ratio curve"

@@ -426,20 +426,60 @@ class LFOOnline(LFOCache):
         past its ``train_deadline`` (counted in requests) is cancelled by
         the watchdog here — two integer compares on the hot path.
         """
+        self.poll_training()
+        hit = super().on_request(request)
+        # ``last_features`` was computed inside LFOCache.on_request with the
+        # live free-bytes observation — exactly what training must see.
+        self.record_for_training(request, self.last_features)
+        return hit
+
+    # -- serving hooks -------------------------------------------------------
+    # The serving loop (repro.serve) scores speculative batches and replays
+    # them through ``apply_scored`` directly, so it drives these two hooks
+    # itself — poll before scoring each request (a model install must land
+    # *before* the request it precedes, exactly as in ``on_request``), and
+    # record after applying.  ``on_request`` is the scalar composition of
+    # the same three steps, so both paths stay bit-identical.
+
+    def poll_training(self) -> None:
+        """Advance the watchdog clock one request and poll the trainer.
+
+        Installs a completed background model (atomic pointer swap) or
+        cancels a job past its ``train_deadline``.  Must run exactly once
+        per request, *before* the request is scored: ``on_request`` calls
+        it first; the batched serving path calls it before reusing or
+        recomputing a speculated score.
+        """
         self._requests_observed += 1
         if self._pending is not None:
             if self._pending.done():
                 self._install_trained_model()
             elif self._watchdog_expired():
                 self._watchdog_cancel()
-        hit = super().on_request(request)
-        # ``last_features`` was computed inside LFOCache.on_request with the
-        # live free-bytes observation — exactly what training must see.
+
+    def record_for_training(
+        self, request: Request, features: np.ndarray
+    ) -> None:
+        """Buffer one served request's live features; retrain at the edge.
+
+        ``features`` must be the row the request was actually scored with
+        (``last_features`` after :meth:`~repro.core.LFOCache.apply_scored`)
+        — training must see exactly what serving saw.
+        """
         self._buffer_requests.append(request)
-        self._buffer_features.append(self.last_features)
+        self._buffer_features.append(features)
         if len(self._buffer_requests) >= self.window:
             self._retrain()
-        return hit
+
+    @property
+    def window_remaining(self) -> int:
+        """Requests left before the current training window closes.
+
+        The serving loop caps each speculation batch here so no batch
+        straddles a window boundary: the retrain (and any model swap it
+        triggers) lands between batches, never under speculated scores.
+        """
+        return self.window - len(self._buffer_requests)
 
     # -- window hand-over ----------------------------------------------------
 

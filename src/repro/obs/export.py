@@ -12,7 +12,10 @@ import json
 import math
 import re
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # annotation only; registry does not import exporters.
+    from .registry import MetricsRegistry, NullRegistry
 
 __all__ = ["prom_series_name", "render_prometheus", "write_json", "JsonlSink"]
 
@@ -134,3 +137,15 @@ class JsonlSink:
         with open(self.path, "a") as handle:
             handle.write(json.dumps(snapshot, separators=(",", ":")))
             handle.write("\n")
+
+    def attach(self, registry: "MetricsRegistry | NullRegistry") -> "JsonlSink":
+        """Stream every closed window to the sink, one line per window.
+
+        Subscribes to the registry's ``on_close`` hook, so lines appear
+        as windows close — including the tail window closed by ``flush``,
+        which fires callbacks exactly once even when shutdown paths race.
+        On a non-windowed registry ``on_close`` is a parity no-op, so
+        attaching is safe and writes nothing.
+        """
+        registry.on_close(lambda snapshot: self.write(snapshot.as_dict()))
+        return self

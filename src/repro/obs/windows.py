@@ -298,11 +298,22 @@ class WindowedRegistry(MetricsRegistry):
         snapshot (``bhr`` None, zero counts) to the ring.  ``flush``
         makes the tail flush idempotent — returns the closed snapshot,
         or None when there was nothing left to close.
+
+        The emptiness check and the roll happen under one lock
+        acquisition, so concurrent flushes (a cancelled event loop's
+        drain path racing a signal handler, say) close the tail window
+        exactly once — the loser of the race observes zero new requests
+        and returns None instead of appending a duplicate snapshot.
         """
-        counter = self._counters.get(self.request_counter)
-        if counter is None or counter.value - self._last_requests <= 0:
-            return None
-        return self.roll()
+        now = self._clock()
+        with self._lock:
+            counter = self._counters.get(self.request_counter)
+            if counter is None or counter.value - self._last_requests <= 0:
+                return None
+            snapshot = self._roll_locked(now)
+        for callback in self._callbacks:
+            callback(snapshot)
+        return snapshot
 
     def roll(self) -> WindowSnapshot:
         """Unconditionally close the current window and start a new one.
@@ -312,50 +323,60 @@ class WindowedRegistry(MetricsRegistry):
         """
         now = self._clock()
         with self._lock:
-            counters: dict[str, float] = {}
-            for name, counter in self._counters.items():
-                previous = self._prev_counters.get(name, 0.0)
-                counters[name] = counter.value - previous
-                self._prev_counters[name] = counter.value
-            gauges = {name: g.value for name, g in self._gauges.items()}
-            histograms: dict[str, dict] = {}
-            for name, hist in self._histograms.items():
-                prev_counts = self._prev_hist_counts.get(name)
-                if prev_counts is None:
-                    prev_counts = [0] * len(hist.bucket_counts)
-                prev_count, prev_total = self._prev_hist_summary.get(
-                    name, (0, 0.0)
-                )
-                current = list(hist.bucket_counts)
-                histograms[name] = {
-                    "bounds": hist.bounds,
-                    "counts": [
-                        c - p for c, p in zip(current, prev_counts)
-                    ],
-                    "count": hist.count - prev_count,
-                    "total": hist.total - prev_total,
-                    "max": hist.max,
-                }
-                self._prev_hist_counts[name] = current
-                self._prev_hist_summary[name] = (hist.count, hist.total)
-            requests_total = counters.get(self.request_counter, 0.0)
-            snapshot = WindowSnapshot(
-                index=self._index,
-                started=self._window_started,
-                ended=now,
-                requests=int(requests_total),
-                counters=counters,
-                gauges=gauges,
-                histograms=histograms,
-            )
-            self._ring.append(snapshot)
-            self._index += 1
-            self._window_started = now
-            self._last_requests = self._prev_counters.get(
-                self.request_counter, 0.0
-            )
+            snapshot = self._roll_locked(now)
         for callback in self._callbacks:
             callback(snapshot)
+        return snapshot
+
+    def _roll_locked(self, now: float) -> WindowSnapshot:
+        """Close the window; caller holds ``self._lock``.
+
+        Split out so :meth:`flush` can make its emptiness check and the
+        roll one atomic step; callbacks run after the lock is released
+        (they may read the registry, which would deadlock here).
+        """
+        counters: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            previous = self._prev_counters.get(name, 0.0)
+            counters[name] = counter.value - previous
+            self._prev_counters[name] = counter.value
+        gauges = {name: g.value for name, g in self._gauges.items()}
+        histograms: dict[str, dict] = {}
+        for name, hist in self._histograms.items():
+            prev_counts = self._prev_hist_counts.get(name)
+            if prev_counts is None:
+                prev_counts = [0] * len(hist.bucket_counts)
+            prev_count, prev_total = self._prev_hist_summary.get(
+                name, (0, 0.0)
+            )
+            current = list(hist.bucket_counts)
+            histograms[name] = {
+                "bounds": hist.bounds,
+                "counts": [
+                    c - p for c, p in zip(current, prev_counts)
+                ],
+                "count": hist.count - prev_count,
+                "total": hist.total - prev_total,
+                "max": hist.max,
+            }
+            self._prev_hist_counts[name] = current
+            self._prev_hist_summary[name] = (hist.count, hist.total)
+        requests_total = counters.get(self.request_counter, 0.0)
+        snapshot = WindowSnapshot(
+            index=self._index,
+            started=self._window_started,
+            ended=now,
+            requests=int(requests_total),
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+        )
+        self._ring.append(snapshot)
+        self._index += 1
+        self._window_started = now
+        self._last_requests = self._prev_counters.get(
+            self.request_counter, 0.0
+        )
         return snapshot
 
     # -- ring access ---------------------------------------------------------

@@ -73,9 +73,15 @@ from ..trace import Trace
 
 if TYPE_CHECKING:  # repro.core imports repro.sim; annotation only.
     from ..core.lfo import LFOCache
+    from ..gbdt import CompiledPredictor
     from .runner import _MetricsFolder
 
-__all__ = ["run_batched"]
+__all__ = [
+    "run_batched",
+    "free_bytes_thresholds",
+    "FREE_BYTES_COLUMN",
+    "DECISION_LATENCY_BUCKETS",
+]
 
 #: Column of the free-bytes feature in the tracker's layout
 #: (size, cost, free_bytes, gap_1..gap_N).
@@ -99,6 +105,20 @@ DECISION_LATENCY_BUCKETS = (
 _TIMED_PER_WINDOW = 8
 
 
+def free_bytes_thresholds(predictor: "CompiledPredictor") -> list[float]:
+    """Ensemble split thresholds on the free-bytes feature, as floats.
+
+    Two free-bytes values falling between the same pair of consecutive
+    thresholds take identical paths through every tree, so a speculated
+    score stays valid while the live value remains in the speculated
+    bucket (``bisect_left`` index).  Python floats so the per-row bisect
+    costs the same comparisons as ``np.searchsorted(..., side="left")``
+    at a fraction of the call overhead.  Shared by this loop and the
+    serving engine (:mod:`repro.serve`).
+    """
+    return predictor.feature_thresholds(FREE_BYTES_COLUMN).tolist()
+
+
 def run_batched(
     trace: Trace,
     policy: "LFOCache",
@@ -120,9 +140,7 @@ def run_batched(
     model = policy.model
     predictor = model.classifier.compiled()
     tracker = policy.tracker
-    # Python floats for the per-row bisect: same comparisons as
-    # ``np.searchsorted(..., side="left")``, a fraction of the call cost.
-    thresholds = predictor.feature_thresholds(FREE_BYTES_COLUMN).tolist()
+    thresholds = free_bytes_thresholds(predictor)
     registry = get_registry()
     observing = registry.enabled
     timed_limit = 0

@@ -101,6 +101,53 @@ class TestWindowedRegistryModes:
         fresh = WindowedRegistry(every_requests=5)
         assert fresh.flush() is None
 
+    def test_concurrent_flush_closes_tail_exactly_once(self):
+        # Shutdown race: a cancelled event loop's drain path and a signal
+        # handler can both reach flush() with the same partial tail.  The
+        # emptiness check and the roll are one lock acquisition, so only
+        # one caller closes the window; the rest observe an empty window
+        # and return None.  Regression: the check used to read the counter
+        # outside the lock, letting both callers roll a duplicate tail.
+        import threading
+
+        for _ in range(50):
+            registry = WindowedRegistry(every_requests=5)
+            registry.counter("sim.requests").inc(3)
+            barrier = threading.Barrier(4)
+            results: list[object] = [None] * 4
+
+            def _flush(slot: int) -> None:
+                barrier.wait()
+                results[slot] = registry.flush()
+
+            threads = [
+                threading.Thread(target=_flush, args=(slot,))
+                for slot in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            closed = [snap for snap in results if snap is not None]
+            assert len(closed) == 1
+            assert len(registry.windows()) == 1
+            assert registry.windows()[0].requests == 3
+
+    def test_jsonl_sink_attach_writes_tail_exactly_once(self, tmp_path):
+        from repro.obs import JsonlSink
+
+        path = tmp_path / "windows.jsonl"
+        registry = WindowedRegistry(every_requests=5)
+        JsonlSink(path).attach(registry)
+        registry.counter("sim.requests").inc(5)
+        registry.maybe_roll()
+        registry.counter("sim.requests").inc(2)
+        registry.flush()
+        registry.flush()  # idempotent: tail already closed, no extra line
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["requests"] == 2
+
     def test_wall_mode_with_injected_clock(self):
         clock = FakeClock()
         registry = WindowedRegistry(every_seconds=10.0, clock=clock)
