@@ -24,6 +24,7 @@ PUBLIC_API_SCOPES = (
     "repro.trace",
     "repro.analysis",
     "repro.resilience",
+    "repro.cluster",
 )
 
 

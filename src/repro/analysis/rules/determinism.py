@@ -34,6 +34,10 @@ DETERMINISTIC_SCOPES = (
     # The serving harness replays traces deterministically: arrival
     # processes draw from seeded generators, latency uses perf_counter.
     "repro.serve",
+    # The cluster must route identically on every host and restart: ring
+    # points and key mixing come from blake2b/splitmix64, slab tokens
+    # from pid + counter, timings from perf_counter/process_time.
+    "repro.cluster",
     "benchmarks",
 )
 

@@ -378,18 +378,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 _diag("serve needs a trace path or --synthetic N")
                 return 2
             cache_size = _resolve_cache(args, trace)
+            if args.shards < 1:
+                _diag("--shards must be at least 1")
+                return 2
             _diag(
                 f"serving {len(trace)} requests, cache {cache_size} bytes, "
                 f"training window {args.window}, queue {args.queue_depth}, "
                 f"batch {args.max_batch}"
+                + (f", {args.shards} shard processes"
+                   if args.shards > 1 else "")
             )
             executor = (
                 SimulatedTrainerExecutor()
                 if args.trainer == "inline"
                 else None  # LFOOnline owns a background thread trainer
             )
+            cluster = None
+            scorer = None
+            if args.shards > 1:
+                from .cluster import CacheCluster, ClusterScorer
+
+                cluster = CacheCluster(
+                    cache_size, args.shards,
+                    vnodes=args.vnodes, seed=args.seed,
+                    ship_features=True,
+                ).start()
             lfo = LFOOnline(
-                cache_size,
+                # The cluster trainer labels against one shard's capacity
+                # — the cache each OPT decision actually lands in.
+                cluster.shard_size if cluster is not None else cache_size,
                 window=args.window,
                 cutoff=args.cutoff,
                 label_config=OptLabelConfig(
@@ -401,6 +418,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 staleness_limit=args.staleness_limit,
                 retry_backoff=args.retry_backoff,
             )
+            if cluster is not None:
+                # Installs the slab publish hook on the trainer and takes
+                # over the cluster's access tap.
+                scorer = ClusterScorer(lfo, cluster)
             requests = list(trace)
             if args.arrival_rate > 0:
                 driver = SyntheticArrivalDriver(
@@ -413,6 +434,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ServeConfig(
                     queue_depth=args.queue_depth, max_batch=args.max_batch
                 ),
+                scorer=scorer,
             )
             try:
                 report = asyncio.run(loop.run())
@@ -430,6 +452,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     # future that will never complete.
                     executor.release_hung()
                 lfo.close()
+                if cluster is not None:
+                    # Drain-then-flush: stop the shards, fold their final
+                    # buffered telemetry, then unlink the slab segments
+                    # exactly once (also the SIGINT path).
+                    cluster.close()
                 if executor is not None:
                     executor.shutdown(cancel_futures=True)
     finally:
@@ -803,6 +830,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--arrival-rate", type=float, default=0.0,
                          help="requests/second for the Poisson arrival "
                               "driver (0 = replay at queue speed)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="shard worker processes: >1 routes batches "
+                              "across a consistent-hash cache cluster with "
+                              "the trainer publishing models through a "
+                              "shared-memory slab (default 1 = in-process)")
+    p_serve.add_argument("--vnodes", type=int, default=64,
+                         help="virtual nodes per shard on the routing ring "
+                              "(more = flatter load, longer ring)")
     p_serve.add_argument("--slo", metavar="PATH", default=None,
                          help="SLO spec JSON (SloSpec.as_dict shape); "
                               "default: serving objectives (p50/p99/p999 "

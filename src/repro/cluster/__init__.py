@@ -1,0 +1,50 @@
+"""Sharded multi-process cache cluster with a shared-memory model slab.
+
+Scaling the single-process LFO loop out over cores (the deployment shape
+a CDN node actually runs) needs three mechanisms, and this package is
+exactly those three plus the router that composes them:
+
+* **consistent-hash routing** (:class:`HashRing`, ``ring.py``) — a
+  seeded ring with configurable virtual nodes maps every object id to
+  one shard, deterministically across processes and runs, with ~1/(N+1)
+  keys remapped when a shard is added;
+* **the model slab** (:class:`ModelSlab` / :class:`SlabReader`,
+  ``slab.py``) — one trainer serializes each compiled model's
+  contiguous node array into ``multiprocessing.shared_memory`` and
+  flips a generation counter; every shard attaches zero-copy
+  (``np.frombuffer``) with bit-identical scores.  Publish is
+  write-new-then-flip, never in-place: readers either see the old
+  generation or the complete new one;
+* **striped cross-shard buffers** (:class:`StripedBuffer`,
+  ``buffers.py``) — telemetry deltas and observed accesses batch
+  through per-shard striped write buffers and drain on size/boundary
+  triggers, so cross-shard traffic never serializes on a lock.
+
+:class:`CacheCluster` (``cluster.py``) wires them together — spawn-safe
+shard workers (``worker.py``), fan-out/collect batch dispatch, and
+telemetry folding into the registry (cluster-wide windows, SLOs, and
+drift detection unchanged) — and :class:`ClusterScorer` (``serving.py``)
+drops the cluster into the always-on serving loop with the trainer
+publishing into the slab (``lfo serve --shards N``).
+"""
+
+from .buffers import StripedBuffer
+from .cluster import CacheCluster, ClusterReport
+from .ring import HashRing
+from .serving import ClusterScorer
+from .slab import ModelSlab, SlabModel, SlabReader
+from .worker import ShardConfig, replay_scored, shard_main
+
+__all__ = [
+    "CacheCluster",
+    "ClusterReport",
+    "ClusterScorer",
+    "HashRing",
+    "ModelSlab",
+    "ShardConfig",
+    "SlabModel",
+    "SlabReader",
+    "StripedBuffer",
+    "replay_scored",
+    "shard_main",
+]

@@ -1,0 +1,99 @@
+"""Striped write buffers: batched cross-shard traffic without locks.
+
+Telemetry deltas and observed-access records flow from every shard to
+the router/trainer.  Sending them per request would serialise the
+cluster on its slowest pipe; guarding one shared buffer with a lock
+would serialise it on contention.  The theine-style answer (see its
+``striped_buffer.py``/``write_buffer.py``) is striping: each producer
+appends into one of several independent ring/list stripes chosen by key
+hash, and a stripe drains *itself* the moment it fills — so flush cost
+is amortised, batch sizes are bounded, and no two keys ever contend on
+the same append unless they share a stripe.
+
+The shard workers here are single-threaded processes, so the stripes'
+role is batching and bounded drain granularity rather than mutual
+exclusion — but the shape is kept deliberately theine-like (power-of-two
+stripe count, mask selection, swap-on-drain) so a threaded producer
+works unchanged: list append and reference swap are each atomic under
+the GIL.
+
+Two triggers drain a stripe:
+
+* **size** — an append that fills the stripe to ``capacity`` drains it
+  immediately (bounded memory, bounded message size);
+* **boundary** — :meth:`StripedBuffer.drain_all` at batch/window edges
+  flushes every remaining stripe, so downstream folding (telemetry
+  windows, training samples) always observes complete batches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["StripedBuffer"]
+
+
+class StripedBuffer:
+    """N independent append buffers with swap-on-drain batching.
+
+    Args:
+        on_drain: called with each drained batch (a list of items, in
+            append order for that stripe).  The batch is detached before
+            the call — the callback may hold or mutate it freely.
+        stripes: stripe count; must be a power of two (mask selection).
+        capacity: items per stripe before a size-triggered drain.
+    """
+
+    def __init__(
+        self,
+        on_drain: Callable[[list], None],
+        stripes: int = 8,
+        capacity: int = 256,
+    ) -> None:
+        if stripes < 1 or stripes & (stripes - 1):
+            raise ValueError("stripes must be a power of two")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.drains = 0
+        self.items_drained = 0
+        self._on_drain = on_drain
+        self._mask = stripes - 1
+        self._stripes: list[list] = [[] for _ in range(stripes)]
+
+    @property
+    def stripes(self) -> int:
+        """Number of stripes."""
+        return self._mask + 1
+
+    def add(self, key: int, item: Any) -> None:
+        """Append ``item`` to the stripe selected by ``key``.
+
+        Fills trigger an immediate drain of that stripe only — the other
+        stripes keep batching.
+        """
+        index = key & self._mask
+        stripe = self._stripes[index]
+        stripe.append(item)
+        if len(stripe) >= self.capacity:
+            self._drain(index)
+
+    def _drain(self, index: int) -> None:
+        # Swap-on-drain: detach the full list, install a fresh one, then
+        # hand the batch out — a threaded producer appending concurrently
+        # lands in the new list, never in the batch being consumed.
+        batch = self._stripes[index]
+        self._stripes[index] = []
+        self.drains += 1
+        self.items_drained += len(batch)
+        self._on_drain(batch)
+
+    def drain_all(self) -> None:
+        """Boundary trigger: flush every non-empty stripe."""
+        for index in range(self._mask + 1):
+            if self._stripes[index]:
+                self._drain(index)
+
+    def __len__(self) -> int:
+        """Items currently buffered across all stripes."""
+        return sum(len(stripe) for stripe in self._stripes)

@@ -1,0 +1,375 @@
+"""The cache cluster: a consistent-hash router over shard processes.
+
+:class:`CacheCluster` owns the three cluster-scale mechanisms and wires
+them together:
+
+* the **router** — a seeded :class:`~repro.cluster.HashRing` partitions
+  every request batch by object id, preserving per-shard request order
+  (an object's whole request stream lands on one shard, so each shard's
+  cache behaves exactly like a single-process cache over its split);
+* the **model slab** — one :class:`~repro.cluster.ModelSlab` publishes
+  each trained model into shared memory; shards attach zero-copy at
+  batch boundaries.  :meth:`publish` is shaped to be handed directly to
+  :class:`repro.core.LFOOnline` as its ``publish_hook``;
+* the **telemetry fold** — striped-buffer drains from every shard
+  (counter/histogram deltas, observed accesses) are folded into the
+  active registry (:func:`repro.obs.fold_deltas`), so a
+  :class:`~repro.obs.WindowedRegistry` sees cluster-wide windows and the
+  BHR / latency SLO / drift machinery works unchanged.
+
+Shard workers are ``spawn``-started processes (no inherited state; every
+argument pickles), fed over pipes in routed batches.  Dispatch fans out
+first and collects second, so shards compute concurrently; each reply
+carries the shard's per-request hit bits (re-interleaved into the
+caller's order) and cumulative stats including a running score digest —
+the bit-identity witness the cluster benchmark checks against a
+single-process replay of the same split.
+
+Shutdown (:meth:`close`, idempotent, also the context-manager exit and
+the SIGINT path) mirrors the serve loop's drain-then-flush: every shard
+is stopped and its final buffered drains folded, workers are joined,
+and only then are the shared-memory segments unlinked — exactly once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..obs import get_registry
+from ..obs.fold import fold_deltas
+from ..trace import Request
+from .ring import HashRing
+from .slab import ModelSlab
+from .worker import ShardConfig, shard_main
+
+if TYPE_CHECKING:  # annotation only; avoids repro.core import at runtime.
+    from ..core.lfo import LFOModel
+    from ..gbdt import CompiledPredictor
+
+__all__ = ["CacheCluster", "ClusterReport"]
+
+#: Histogram bounds for per-batch routing/dispatch round-trips: 10µs..10s.
+_BATCH_SECONDS_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate + per-shard outcome of a cluster run.
+
+    ``shards`` holds each worker's final cumulative stats dict
+    (requests, hits, byte counts, ``cpu_seconds`` / ``busy_seconds``
+    around the scoring loop only, attach count, and the running
+    ``score_digest``).
+    """
+
+    requests: int = 0
+    hits: int = 0
+    hit_bytes: float = 0.0
+    miss_bytes: float = 0.0
+    batches: int = 0
+    generation: int = 0
+    shards: list[dict] = field(default_factory=list)
+
+    @property
+    def bhr(self) -> float | None:
+        """Cluster-wide byte hit ratio (None before any bytes)."""
+        total = self.hit_bytes + self.miss_bytes
+        if total <= 0:
+            return None
+        return self.hit_bytes / total
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "hit_bytes": self.hit_bytes,
+            "miss_bytes": self.miss_bytes,
+            "bhr": self.bhr,
+            "batches": self.batches,
+            "generation": self.generation,
+            "shards": list(self.shards),
+        }
+
+
+class CacheCluster:
+    """N shard caches behind a consistent-hash router and a shared slab.
+
+    Args:
+        cache_size: total capacity in bytes, split evenly across shards.
+        n_shards: worker process count.
+        vnodes: virtual nodes per shard on the routing ring.
+        seed: ring seed (key→shard mapping is a pure function of
+            ``(seed, n_shards, vnodes)``).
+        n_gaps: gap-feature count of each shard's tracker.
+        eviction: shard cache eviction mode.
+        stripes / stripe_capacity: shard-side striped write buffer shape.
+        ship_features: include live feature rows in access drains (the
+            serving/training path needs them; plain replay does not).
+        on_access: called with each drained batch of access records
+            ``(index, request, hit, features | None)`` — the
+            training-sample tap.
+        slab_token: override the shared-memory token (testing).
+    """
+
+    def __init__(
+        self,
+        cache_size: int,
+        n_shards: int,
+        *,
+        vnodes: int = 64,
+        seed: int = 0,
+        n_gaps: int = 50,
+        eviction: str = "likelihood",
+        stripes: int = 8,
+        stripe_capacity: int = 256,
+        ship_features: bool = False,
+        on_access: Callable[[list], None] | None = None,
+        slab_token: str | None = None,
+    ) -> None:
+        if cache_size < n_shards:
+            raise ValueError("cache_size must be at least n_shards bytes")
+        self.ring = HashRing(n_shards, vnodes=vnodes, seed=seed)
+        self.slab = ModelSlab(slab_token)
+        self.n_shards = n_shards
+        self.shard_size = cache_size // n_shards
+        self.on_access = on_access
+        self._config = dict(
+            n_gaps=n_gaps,
+            eviction=eviction,
+            stripes=stripes,
+            stripe_capacity=stripe_capacity,
+            ship_features=ship_features,
+        )
+        self._processes: list[multiprocessing.process.BaseProcess] = []
+        self._conns: list = []
+        self._stats: list[dict] = [{} for _ in range(n_shards)]
+        self.report = ClusterReport()
+        self._started = False
+        self._closed = False
+
+    @property
+    def ship_features(self) -> bool:
+        """Whether shard access records carry live feature rows."""
+        return bool(self._config["ship_features"])
+
+    @property
+    def n_gaps(self) -> int:
+        """Gap-feature count of every shard's tracker."""
+        return int(self._config["n_gaps"])
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "CacheCluster":
+        """Spawn the shard workers (idempotent)."""
+        if self._started:
+            return self
+        if self._closed:
+            raise RuntimeError("start on a closed CacheCluster")
+        context = multiprocessing.get_context("spawn")
+        for shard_id in range(self.n_shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            config = ShardConfig(
+                shard_id=shard_id,
+                slab_token=self.slab.token,
+                cache_size=self.shard_size,
+                **self._config,
+            )
+            process = context.Process(
+                target=shard_main,
+                args=(config, child_conn),
+                name=f"lfo-shard-{shard_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._conns.append(parent_conn)
+        self._started = True
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("cluster.shards").set(float(self.n_shards))
+        return self
+
+    def __enter__(self) -> "CacheCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop shards, fold their final drains, unlink shared memory.
+
+        Idempotent and exception-safe: whatever happens while stopping
+        workers, the slab segments are unlinked exactly once — the
+        serve loop's drain-then-flush discipline applied to process and
+        shared-memory lifetime.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._started:
+                registry = get_registry()
+                for conn in self._conns:
+                    try:
+                        conn.send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        continue
+                for shard_id, conn in enumerate(self._conns):
+                    try:
+                        self._collect(shard_id, conn, registry, "stopped")
+                    except (EOFError, OSError, RuntimeError):
+                        # Shutdown is best-effort: a shard that died or
+                        # errored mid-drain must not keep the others from
+                        # stopping or the slab from unlinking.
+                        continue
+                    finally:
+                        conn.close()
+                for process in self._processes:
+                    process.join(timeout=10)
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=5)
+                registry.maybe_roll()
+        finally:
+            self._started = False
+            self.slab.close()
+
+    # -- model publication ---------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The currently published model generation (0 = none yet)."""
+        return self.slab.generation
+
+    def publish(self, model: "LFOModel") -> int:
+        """Publish ``model`` to every shard; returns the new generation.
+
+        Hand this method to :class:`repro.core.LFOOnline` as its
+        ``publish_hook`` — each installed model then goes live
+        cluster-wide at the shards' next batch boundary.
+        """
+        generation = self.slab.publish_model(model)
+        self._note_publish(generation)
+        return generation
+
+    def publish_predictor(
+        self, predictor: "CompiledPredictor", cutoff: float, n_gaps: int
+    ) -> int:
+        """Publish a bare compiled predictor (no ``LFOModel`` wrapper)."""
+        generation = self.slab.publish(predictor, cutoff, n_gaps)
+        self._note_publish(generation)
+        return generation
+
+    def _note_publish(self, generation: int) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("cluster.publishes").inc()
+            registry.gauge("cluster.generation").set(float(generation))
+
+    # -- request path --------------------------------------------------------
+
+    def process(self, requests: Sequence[Request]) -> list[bool]:
+        """Route one batch across the shards; per-request hits in order.
+
+        Fan-out first (every shard's sub-batch is dispatched before any
+        reply is awaited), then collect — shards compute concurrently.
+        Telemetry drains arriving with the replies are folded into the
+        active registry before this returns.
+        """
+        if not self._started:
+            raise RuntimeError("CacheCluster.process before start()")
+        if not requests:
+            return []
+        registry = get_registry()
+        began = perf_counter()
+        buckets = self.ring.partition(requests)
+        dispatched: list[int] = []
+        for shard_id, bucket in enumerate(buckets):
+            if bucket:
+                self._conns[shard_id].send(("batch", bucket))
+                dispatched.append(shard_id)
+        hits = [False] * len(requests)
+        for shard_id in dispatched:
+            shard_hits = self._collect(
+                shard_id, self._conns[shard_id], registry, "done"
+            )
+            for (index, _request), hit in zip(buckets[shard_id], shard_hits):
+                hits[index] = hit
+        report = self.report
+        report.requests += len(requests)
+        report.hits += sum(hits)
+        report.batches += 1
+        report.generation = self.generation
+        report.shards = [dict(stats) for stats in self._stats if stats]
+        report.hit_bytes = sum(
+            s.get("hit_bytes", 0.0) for s in report.shards
+        )
+        report.miss_bytes = sum(
+            s.get("miss_bytes", 0.0) for s in report.shards
+        )
+        if registry.enabled:
+            registry.counter("cluster.requests").inc(len(requests))
+            registry.counter("cluster.shard_batches").inc(len(dispatched))
+            registry.histogram(
+                "cluster.batch_seconds", _BATCH_SECONDS_BUCKETS
+            ).observe(perf_counter() - began)
+        registry.maybe_roll()
+        return hits
+
+    def run(
+        self, requests: Sequence[Request], batch_size: int = 2048
+    ) -> ClusterReport:
+        """Process a whole trace in routed batches; the final report."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        for start in range(0, len(requests), batch_size):
+            self.process(requests[start:start + batch_size])
+        return self.report
+
+    def shard_stats(self) -> list[dict]:
+        """The latest cumulative stats reported by each shard."""
+        return [dict(stats) for stats in self._stats]
+
+    def _collect(
+        self, shard_id: int, conn, registry, final: str
+    ) -> list[bool]:
+        """Receive one shard's messages up to ``final``, folding drains."""
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "drain":
+                _, _, payload_kind, items = message
+                if registry.enabled:
+                    registry.counter("cluster.drains").inc()
+                if payload_kind == "metrics":
+                    fold_deltas(registry, items)
+                elif payload_kind == "accesses":
+                    if self.on_access is not None:
+                        self.on_access(items)
+                else:
+                    raise RuntimeError(
+                        f"shard {shard_id}: unknown drain {payload_kind!r}"
+                    )
+            elif kind == "error":
+                raise RuntimeError(
+                    f"shard {shard_id} failed: {message[2]}"
+                )
+            elif kind == final:
+                self._stats[message[1]] = message[2]
+                return message[3] if len(message) > 3 else []
+            elif kind == "done" and final == "stopped":
+                # A batch reply whose collection was interrupted (SIGINT
+                # mid-process): fold its stats and keep waiting for the
+                # shutdown ack instead of failing the drain.
+                self._stats[message[1]] = message[2]
+            else:
+                raise RuntimeError(
+                    f"shard {shard_id}: unexpected {kind!r} "
+                    f"while waiting for {final!r}"
+                )

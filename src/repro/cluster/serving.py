@@ -1,0 +1,130 @@
+"""Serving-loop integration: a cluster-backed drop-in for ``BatchScorer``.
+
+:class:`ClusterScorer` gives the always-on serving harness
+(:class:`repro.serve.ServingLoop`) a sharded data plane: request batches
+route through a :class:`~repro.cluster.CacheCluster` instead of a local
+cache, while the control plane — one :class:`repro.core.LFOOnline`
+trainer living in the router process — keeps the paper's Figure-2 loop
+intact:
+
+1. shards serve each routed batch and ship observed-access records
+   (request, hit, the *live* feature row it was scored with) through
+   their striped buffers;
+2. the scorer replays those records, in global request order, into the
+   trainer's window buffer (``poll_training`` + ``record_for_training``
+   — the same serving hooks ``BatchScorer`` drives), so training sees
+   exactly what the shards served;
+3. when a window closes and a fresh model installs, the trainer's
+   ``publish_hook`` (installed by this class when unset) writes it into
+   the shared slab — and every shard warm-hands-off to the new
+   generation at its next batch boundary.
+
+The scorer exposes the two members the serving loop consumes —
+``process(requests) -> hits`` and ``n_handoffs`` — plus
+``folds_bytes = True``, which tells the loop the byte counters already
+arrived through the cluster's telemetry fold (folding them again would
+double-count window BHR).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
+
+from ..obs import get_registry
+from ..sim.batched import DECISION_LATENCY_BUCKETS
+from ..trace import Request
+from .cluster import CacheCluster
+
+if TYPE_CHECKING:  # annotation only; avoids repro.core import at runtime.
+    from ..core.online import LFOOnline
+
+__all__ = ["ClusterScorer"]
+
+
+class ClusterScorer:
+    """Score request batches through a shard cluster; train in-router.
+
+    Args:
+        trainer: the router-process :class:`~repro.core.LFOOnline`.  Its
+            cache never serves — only its training windows, retraining
+            machinery, and ``publish_hook`` matter.  Size it to one
+            *shard's* capacity so the OPT oracle labels against the
+            capacity each shard actually serves.  When its
+            ``publish_hook`` is unset, :meth:`CacheCluster.publish` is
+            installed — every installed model then goes live
+            cluster-wide.
+        cluster: a started-or-startable cluster built with
+            ``ship_features=True`` (training needs the live rows).  The
+            scorer takes over its ``on_access`` tap.
+    """
+
+    #: The serving loop reads this: byte counters already arrive through
+    #: the cluster's telemetry fold, so the loop must not count them too.
+    folds_bytes = True
+
+    def __init__(self, trainer: "LFOOnline", cluster: CacheCluster) -> None:
+        if not cluster.ship_features:
+            raise ValueError(
+                "ClusterScorer needs a cluster built with "
+                "ship_features=True: training must see the live feature "
+                "rows the shards scored with"
+            )
+        if trainer.tracker.n_gaps != cluster.n_gaps:
+            raise ValueError(
+                f"trainer n_gaps ({trainer.tracker.n_gaps}) != cluster "
+                f"n_gaps ({cluster.n_gaps}); feature rows would not match"
+            )
+        self.trainer = trainer
+        self.cluster = cluster
+        cluster.on_access = self._take_accesses
+        if trainer.publish_hook is None:
+            trainer.publish_hook = cluster.publish
+        self.n_handoffs = 0
+        self._generation = cluster.generation
+        self._accesses: list = []
+        registry = get_registry()
+        if registry.enabled:
+            self._latency_hist = registry.histogram(
+                "serve.decision_latency_seconds", DECISION_LATENCY_BUCKETS
+            )
+            self._handoff_counter = registry.counter("serve.model_handoffs")
+        else:
+            self._latency_hist = None
+            self._handoff_counter = None
+
+    def _take_accesses(self, items: list) -> None:
+        self._accesses.extend(items)
+
+    def process(self, requests: Sequence[Request]) -> list[bool]:
+        """Route one batch through the cluster; per-request hits in order.
+
+        All of the batch's access records arrive before
+        :meth:`CacheCluster.process` returns (the batch boundary drains
+        every shard buffer), so replaying them sorted by original index
+        feeds the trainer in exactly the order the requests were served.
+        """
+        self._accesses = []
+        began = perf_counter()
+        hits = self.cluster.process(requests)
+        elapsed = perf_counter() - began
+        trainer = self.trainer
+        for _index, request, _hit, features in sorted(
+            self._accesses, key=lambda record: record[0]
+        ):
+            trainer.poll_training()
+            if features is not None:
+                trainer.record_for_training(request, features)
+        self._accesses = []
+        generation = self.cluster.generation
+        if generation != self._generation:
+            fresh = generation - self._generation
+            self._generation = generation
+            self.n_handoffs += fresh
+            if self._handoff_counter is not None:
+                self._handoff_counter.inc(fresh)
+        if self._latency_hist is not None and requests:
+            per_request = elapsed / len(requests)
+            for _ in requests:
+                self._latency_hist.observe(per_request)
+        return hits

@@ -1,0 +1,331 @@
+"""The shard worker process: one ``LFOCache`` behind a request pipe.
+
+Spawn-safe by construction: :func:`shard_main` is a module-level
+function of a picklable :class:`ShardConfig`, so it works identically
+under the ``spawn`` start method (no forked state, no inherited
+registry — worker processes observe into plain local instruments and
+ship *deltas*).
+
+Per batch the worker:
+
+1. polls the model slab's generation word (two shared-memory reads);
+   on a new generation it attaches the published model zero-copy
+   (:class:`repro.cluster.SlabReader`) and swaps it in with
+   ``cache.set_model`` — the cross-process warm handoff;
+2. replays the batch through :func:`replay_scored` — the exact
+   ``LFOCache.on_request`` decomposition (live features →
+   ``likelihood_single`` → ``apply_scored``), additionally folding every
+   score into a running ``blake2b`` digest.  The digest is what the
+   cluster benchmark compares against a single-process replay of the
+   same trace split: equal digests mean bit-identical scores;
+3. pushes telemetry deltas and observed-access records through striped
+   write buffers (:class:`repro.cluster.StripedBuffer`); size-triggered
+   drains go down the pipe immediately, and the batch boundary drains
+   the rest — the router folds them into its windowed registry, the
+   trainer consumes the access records as training samples.
+
+Timing: the worker accumulates ``process_time`` (CPU seconds) and
+``perf_counter`` (busy wall seconds) around the scoring loop only —
+attach, pickling, and pipe waits are excluded, so per-shard service
+rates measure the work a dedicated core would do.
+"""
+
+from __future__ import annotations
+
+import signal
+import struct
+import zlib
+from dataclasses import dataclass
+from hashlib import blake2b
+from time import perf_counter, process_time
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.lfo import ADMISSION_SCORE_BUCKETS, LFOCache
+from ..obs.registry import Histogram
+from ..trace import Request
+from .buffers import StripedBuffer
+from .slab import SlabReader
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+__all__ = ["ShardConfig", "replay_scored", "shard_main"]
+
+_PACK_SCORE = struct.Struct("<d")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a shard worker needs, snapshotted and picklable.
+
+    Attributes:
+        shard_id: this worker's index in the ring.
+        slab_token: the :class:`repro.cluster.ModelSlab` token to attach.
+        cache_size: this shard's capacity in bytes (the cluster splits
+            the total evenly).
+        n_gaps: gap-feature count of the shard's feature tracker.
+        eviction: the shard cache's eviction mode.
+        stripes: stripe count for the telemetry/access write buffers.
+        stripe_capacity: per-stripe items before a size-triggered drain.
+        ship_features: include each request's live feature row in the
+            access records (the trainer needs them; plain replay does
+            not, and the rows dominate pipe traffic).
+    """
+
+    shard_id: int
+    slab_token: str
+    cache_size: int
+    n_gaps: int = 50
+    eviction: str = "likelihood"
+    stripes: int = 8
+    stripe_capacity: int = 256
+    ship_features: bool = False
+
+
+def replay_scored(
+    cache: LFOCache,
+    requests: Sequence[Request],
+    digest: "blake2b | None" = None,
+    hist: Histogram | None = None,
+) -> list[bool]:
+    """Replay ``requests`` through ``cache`` exactly like ``on_request``.
+
+    The scalar decomposition (live features → ``likelihood_single`` →
+    ``apply_scored``) with the score captured in flight: every score is
+    folded into ``digest`` (when given) and observed into ``hist`` (when
+    given and a model is live).  Decisions and scores are bit-identical
+    to calling ``cache.on_request`` per request — this is both the shard
+    worker's serving loop and the benchmark's in-process reference.
+    """
+    tracker = cache.tracker
+    hits = []
+    for request in requests:
+        features = tracker.features(request, cache.free_bytes)
+        model = cache.model
+        if model is not None:
+            score = model.likelihood_single(features)
+            if hist is not None:
+                hist.observe(score)
+        else:
+            score = 0.0
+        if digest is not None:
+            digest.update(_PACK_SCORE.pack(score))
+        hits.append(cache.apply_scored(request, features, score))
+    return hits
+
+
+def _metric_key(name: str) -> int:
+    """Deterministic stripe key for a metric name (no hash salting)."""
+    return zlib.crc32(name.encode())
+
+
+class _ShardState:
+    """One worker's live state: cache, slab reader, buffers, counters."""
+
+    def __init__(self, config: ShardConfig, conn: "Connection") -> None:
+        self.config = config
+        self.conn = conn
+        self.cache = LFOCache(
+            config.cache_size,
+            model=None,
+            n_gaps=config.n_gaps,
+            eviction=config.eviction,
+        )
+        self.reader = SlabReader(config.slab_token)
+        self.generation = 0
+        self.attaches = 0
+        self.requests = 0
+        self.hits = 0
+        self.hit_bytes = 0.0
+        self.miss_bytes = 0.0
+        self.cpu_seconds = 0.0
+        self.busy_seconds = 0.0
+        self.digest = blake2b(digest_size=16)
+        self.score_hist = Histogram(
+            "lfo.admission_score", ADMISSION_SCORE_BUCKETS
+        )
+        self._hist_shipped = [0] * len(self.score_hist.bucket_counts)
+        self._hist_shipped_count = 0
+        self._hist_shipped_total = 0.0
+        self.metrics_buffer = StripedBuffer(
+            self._send_metrics,
+            stripes=config.stripes,
+            capacity=config.stripe_capacity,
+        )
+        self.access_buffer = StripedBuffer(
+            self._send_accesses,
+            stripes=config.stripes,
+            capacity=config.stripe_capacity,
+        )
+
+    def _send_metrics(self, batch: list) -> None:
+        self.conn.send(("drain", self.config.shard_id, "metrics", batch))
+
+    def _send_accesses(self, batch: list) -> None:
+        self.conn.send(("drain", self.config.shard_id, "accesses", batch))
+
+    def maybe_attach(self) -> None:
+        """Batch-boundary model check: attach a new generation if flipped."""
+        generation = self.reader.poll()
+        if generation == self.generation:
+            return
+        attached = self.reader.attach()
+        if attached is None:
+            return
+        self.generation, model = attached
+        self.cache.set_model(model)
+        self.attaches += 1
+        self.metrics_buffer.add(
+            _metric_key("cluster.shard_attaches"),
+            ("counter", "cluster.shard_attaches", 1),
+        )
+
+    def process(self, batch: list[tuple[int, Request]]) -> None:
+        """Score one routed batch and reply with cumulative stats."""
+        self.maybe_attach()
+        cache = self.cache
+        tracker = cache.tracker
+        digest = self.digest
+        hist = self.score_hist
+        ship_features = self.config.ship_features
+        hit_bytes = 0.0
+        miss_bytes = 0.0
+        hits: list[bool] = []
+        n_hits = 0
+        began_cpu = process_time()
+        began_wall = perf_counter()
+        for index, request in batch:
+            features = tracker.features(request, cache.free_bytes)
+            model = cache.model
+            if model is not None:
+                score = model.likelihood_single(features)
+                hist.observe(score)
+            else:
+                score = 0.0
+            digest.update(_PACK_SCORE.pack(score))
+            hit = cache.apply_scored(request, features, score)
+            hits.append(hit)
+            if hit:
+                n_hits += 1
+                hit_bytes += request.size
+            else:
+                miss_bytes += request.size
+            self.access_buffer.add(
+                request.obj,
+                (
+                    index,
+                    request,
+                    hit,
+                    features.copy() if ship_features else None,
+                ),
+            )
+        self.cpu_seconds += process_time() - began_cpu
+        self.busy_seconds += perf_counter() - began_wall
+        self.requests += len(batch)
+        self.hits += n_hits
+        self.hit_bytes += hit_bytes
+        self.miss_bytes += miss_bytes
+        for name, delta in (
+            ("sim.requests", len(batch)),
+            ("sim.hit_bytes", hit_bytes),
+            ("sim.miss_bytes", miss_bytes),
+        ):
+            if delta:
+                self.metrics_buffer.add(
+                    _metric_key(name), ("counter", name, delta)
+                )
+        self._ship_histogram_delta()
+        # Boundary trigger: the router folds complete batches only.
+        self.access_buffer.drain_all()
+        self.metrics_buffer.drain_all()
+        self.conn.send(("done", self.config.shard_id, self.stats(), hits))
+
+    def _ship_histogram_delta(self) -> None:
+        """Queue the admission-score histogram's since-last-ship delta."""
+        hist = self.score_hist
+        delta = [
+            now - before
+            for now, before in zip(hist.bucket_counts, self._hist_shipped)
+        ]
+        count_delta = hist.count - self._hist_shipped_count
+        if count_delta == 0:
+            return
+        total_delta = hist.total - self._hist_shipped_total
+        self._hist_shipped = list(hist.bucket_counts)
+        self._hist_shipped_count = hist.count
+        self._hist_shipped_total = hist.total
+        self.metrics_buffer.add(
+            _metric_key(hist.name),
+            (
+                "hist", hist.name, hist.bounds,
+                delta, count_delta, total_delta, hist.max,
+            ),
+        )
+
+    def stats(self) -> dict:
+        """Cumulative per-shard stats (the ``done``/``stopped`` payload)."""
+        return {
+            "shard": self.config.shard_id,
+            "requests": self.requests,
+            "hits": self.hits,
+            "hit_bytes": self.hit_bytes,
+            "miss_bytes": self.miss_bytes,
+            "cpu_seconds": self.cpu_seconds,
+            "busy_seconds": self.busy_seconds,
+            "generation": self.generation,
+            "attaches": self.attaches,
+            "buffer_drains": (
+                self.metrics_buffer.drains + self.access_buffer.drains
+            ),
+            "score_digest": self.digest.copy().hexdigest(),
+        }
+
+
+def shard_main(config: ShardConfig, conn: "Connection") -> None:
+    """Worker entry point: serve routed batches until ``stop``.
+
+    Message protocol (parent → worker): ``("batch", [(index, request),
+    ...])`` and ``("stop",)``.  Worker → parent: zero or more
+    ``("drain", shard, kind, items)`` per batch, then ``("done", shard,
+    stats, hits)``; ``("stopped", shard, stats)`` acknowledges shutdown after
+    a final drain.  Any worker exception is reported as ``("error",
+    shard, message)`` before re-raising, so the router can fail fast
+    instead of deadlocking on a silent child.
+    """
+    # A terminal Ctrl-C signals the whole foreground process group —
+    # workers included.  Shutdown is the router's job (a "stop" message
+    # followed by join-or-terminate), so the worker must keep serving
+    # through the router's drain instead of dying mid-batch with a
+    # KeyboardInterrupt half-reply in the pipe.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    state = _ShardState(config, conn)
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "batch":
+                state.process(message[1])
+            elif kind == "stop":
+                # Drain-then-flush, mirroring the serve loop's shutdown:
+                # ship every buffered record before acknowledging.
+                state.access_buffer.drain_all()
+                state.metrics_buffer.drain_all()
+                state._ship_histogram_delta()
+                state.metrics_buffer.drain_all()
+                conn.send(("stopped", config.shard_id, state.stats()))
+                return
+            else:
+                raise ValueError(f"unknown cluster message: {kind!r}")
+    except BaseException as exc:
+        try:
+            conn.send(("error", config.shard_id, repr(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+        raise
+    finally:
+        # Drop the zero-copy model before detaching: its numpy views pin
+        # the shared mapping, and a pinned mapping can be closed neither
+        # here nor in ``SharedMemory.__del__`` (interpreter-exit noise).
+        state.cache.model = None
+        state.reader.close()
+        conn.close()

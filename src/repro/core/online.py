@@ -54,6 +54,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -233,6 +234,12 @@ class LFOOnline(LFOCache):
         max_train_failures: halt retraining for good after this many
             consecutive failures (None = never halt); serving continues,
             degraded by the staleness guard if enabled.
+        publish_hook: called with each freshly *installed* model, right
+            after the atomic swap — the cluster publish path
+            (:meth:`repro.cluster.CacheCluster.publish` writes the
+            compiled model into the shared slab here).  A raising hook is
+            absorbed loudly (``online.publish_failures``): shards keep
+            serving the previous generation, this process the new one.
 
     Counters (also bundled by :attr:`training_stats` and surfaced in
     :class:`repro.sim.SimResult`):
@@ -274,6 +281,7 @@ class LFOOnline(LFOCache):
         fallback: str = "lru",
         retry_backoff: int = 0,
         max_train_failures: int | None = None,
+        publish_hook: Callable[[LFOModel], None] | None = None,
     ) -> None:
         super().__init__(
             cache_size, model=None, n_gaps=n_gaps,
@@ -305,6 +313,7 @@ class LFOOnline(LFOCache):
         self.fallback = fallback
         self.retry_backoff = retry_backoff
         self.max_train_failures = max_train_failures
+        self.publish_hook = publish_hook
         self.n_retrains = 0
         self.n_skipped_retrains = 0
         self.n_failed_retrains = 0
@@ -606,6 +615,7 @@ class LFOOnline(LFOCache):
                 self.n_retrains += 1
                 registry.counter("online.model_installs").inc()
                 self._note_training_success(registry)
+                self._publish(model, registry)
             return
 
         if self._pending is not None:
@@ -809,6 +819,25 @@ class LFOOnline(LFOCache):
             self.n_retrains += 1
             registry.counter("online.model_installs").inc()
             self._note_training_success(registry)
+            self._publish(model, registry)
+
+    def _publish(self, model: LFOModel, registry) -> None:
+        """Hand a freshly installed model to the external publish path."""
+        if self.publish_hook is None:
+            return
+        try:
+            self.publish_hook(model)
+            registry.counter("online.model_publishes").inc()
+        except Exception as exc:
+            # Publishing is off the install path by contract: a failed
+            # slab write must never undo the local swap that already
+            # happened.  Loud — counted and logged with the traceback.
+            registry.counter("online.publish_failures").inc()
+            logger.warning(
+                "model publish hook failed (%s); downstream consumers "
+                "keep the previous generation",
+                type(exc).__name__, exc_info=exc,
+            )
 
     def _trainer(self) -> Executor:
         if self._executor is None:

@@ -44,6 +44,7 @@ from __future__ import annotations
 import ctypes
 import logging
 import os
+import struct
 import subprocess
 import tempfile
 import threading
@@ -80,6 +81,17 @@ _NODE_DTYPE = np.dtype(
         ("value", "<f8"),
     ]
 )
+
+#: Magic prefix of the wire/shared-memory slab format (see
+#: :meth:`CompiledPredictor.to_bytes`).  Bump the trailing digit on any
+#: layout change so stale cross-process segments fail loudly.
+_SLAB_MAGIC = b"LFOSLAB1"
+
+#: ``<`` = little-endian, no struct padding: magic, n_trees u32,
+#: n_features u32, n_nodes u64, init_score f8 — 32 bytes total, which
+#: keeps every section after it 4-byte aligned and the node slab (at
+#: ``32 + 8 * n_trees``) 8-byte aligned with no pad bytes.
+_SLAB_HEADER = struct.Struct("<8sIIQd")
 
 _KERNEL_SOURCE = r"""
 #include <stdint.h>
@@ -431,6 +443,80 @@ class CompiledPredictor:
         np.sum(value[node], axis=1, out=out)
         out += self.init_score
         return out
+
+    # -- slab serialisation -------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the predictor into one contiguous, position-independent
+        blob.
+
+        Layout (all little-endian): a 32-byte header (magic, ``n_trees``
+        u32, ``n_features`` u32, ``n_nodes`` u64, ``init_score`` f8),
+        then ``roots`` i4, ``depths`` i4, then the ``_NODE_DTYPE`` node
+        slab.  Section offsets are pure functions of the header, so
+        :meth:`from_buffer` can map the same bytes zero-copy from a
+        ``multiprocessing.shared_memory`` segment in another process —
+        that mapping is how the cluster publishes models (see
+        :mod:`repro.cluster.slab`).
+        """
+        header = _SLAB_HEADER.pack(
+            _SLAB_MAGIC,
+            self.n_trees,
+            self.n_features,
+            len(self._nodes),
+            self.init_score,
+        )
+        return b"".join(
+            (
+                header,
+                np.ascontiguousarray(self._roots, dtype="<i4").tobytes(),
+                np.ascontiguousarray(self._depths, dtype="<i4").tobytes(),
+                np.ascontiguousarray(self._nodes, dtype=_NODE_DTYPE).tobytes(),
+            )
+        )
+
+    @classmethod
+    def from_buffer(cls, buffer) -> "CompiledPredictor":
+        """Rebuild a predictor as zero-copy views over ``buffer``.
+
+        ``buffer`` is anything exposing the buffer protocol — typically a
+        ``multiprocessing.shared_memory.SharedMemory.buf`` memoryview, in
+        which case the node tables are never copied: every attached
+        process walks the same physical pages.  The returned arrays keep
+        the buffer alive, and scoring is bit-identical to the predictor
+        that produced the bytes (same node records, same walk, same
+        accumulation order on both backends).
+
+        Raises ``ValueError`` on a bad magic or a truncated buffer.
+        """
+        view = memoryview(buffer)
+        if len(view) < _SLAB_HEADER.size:
+            raise ValueError(
+                f"model slab truncated: {len(view)} bytes is smaller than "
+                f"the {_SLAB_HEADER.size}-byte header"
+            )
+        magic, n_trees, n_features, n_nodes, init_score = (
+            _SLAB_HEADER.unpack_from(view, 0)
+        )
+        if magic != _SLAB_MAGIC:
+            raise ValueError(
+                f"model slab has magic {magic!r}, expected {_SLAB_MAGIC!r}"
+            )
+        offset = _SLAB_HEADER.size
+        total = offset + 8 * n_trees + _NODE_DTYPE.itemsize * n_nodes
+        if len(view) < total:
+            raise ValueError(
+                f"model slab truncated: header promises {total} bytes, "
+                f"buffer holds {len(view)}"
+            )
+        roots = np.frombuffer(view, dtype="<i4", count=n_trees, offset=offset)
+        offset += 4 * n_trees
+        depths = np.frombuffer(view, dtype="<i4", count=n_trees, offset=offset)
+        offset += 4 * n_trees
+        nodes = np.frombuffer(
+            view, dtype=_NODE_DTYPE, count=n_nodes, offset=offset
+        )
+        return cls(nodes, roots, depths, init_score, n_features)
 
     # -- threshold introspection -------------------------------------------
 

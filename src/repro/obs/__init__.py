@@ -36,6 +36,7 @@ On top of the cumulative registry sits the streaming layer:
 """
 
 from .export import JsonlSink, render_prometheus, write_json
+from .fold import fold_deltas
 from .health import HealthAlert, HealthConfig, HealthMonitor
 from .serve import MetricsServer
 from .slo import SloEngine, SloObjective, SloSpec
@@ -70,6 +71,7 @@ __all__ = [
     "SpanAggregate",
     "Tracer",
     "JsonlSink",
+    "fold_deltas",
     "render_prometheus",
     "write_json",
     "WindowedRegistry",

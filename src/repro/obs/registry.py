@@ -142,6 +142,36 @@ class Histogram:
         if top > self.max:
             self.max = top
 
+    def merge_delta(
+        self,
+        bucket_counts: "Iterable[int]",
+        count: int,
+        total: float,
+        max_value: float,
+    ) -> None:
+        """Fold another histogram's per-bucket *delta* into this one.
+
+        The cross-process folding primitive: shard workers observe into
+        local histograms with identical bounds and ship per-window bucket
+        deltas (see :mod:`repro.obs.fold`); merging is pure integer adds,
+        so folded windows are bit-identical to having observed every
+        sample locally — except ``max``, which is a cumulative high-water
+        mark on both sides and merges by comparison.
+        """
+        counts = list(bucket_counts)
+        if len(counts) != len(self.bucket_counts):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge {len(counts)} "
+                f"buckets into {len(self.bucket_counts)}"
+            )
+        for i, n in enumerate(counts):
+            if n:
+                self.bucket_counts[i] += n
+        self.count += count
+        self.total += total
+        if max_value > self.max:
+            self.max = max_value
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,
@@ -177,6 +207,9 @@ class _NullInstrument:
         pass
 
     def observe_batch(self, values) -> None:
+        pass
+
+    def merge_delta(self, bucket_counts, count, total, max_value) -> None:
         pass
 
 
@@ -298,6 +331,9 @@ class MetricsRegistry:
     def roll(self) -> None:
         return None
 
+    def flush(self) -> None:
+        return None
+
     def windows(self) -> list:
         return []
 
@@ -378,6 +414,9 @@ class NullRegistry:
         return None
 
     def roll(self) -> None:
+        return None
+
+    def flush(self) -> None:
         return None
 
     def windows(self) -> list:

@@ -172,6 +172,14 @@ class ServingLoop:
 
     ``on_decision(request, hit)`` is invoked per request after its batch
     is applied — the reply hook a transport would attach to.
+
+    ``scorer`` swaps the scoring engine: anything exposing
+    ``process(requests) -> list[bool]`` and ``n_handoffs`` (e.g.
+    :class:`repro.cluster.ClusterScorer`, which fans batches out across
+    shard processes).  A scorer with a true ``folds_bytes`` attribute
+    already folds the ``sim.hit_bytes``/``sim.miss_bytes`` counters into
+    the registry itself, so the loop skips its own fold to avoid
+    double-counting window BHR.
     """
 
     def __init__(
@@ -180,13 +188,19 @@ class ServingLoop:
         driver: AsyncIterable[Request],
         config: ServeConfig | None = None,
         on_decision: Callable[[Request, bool], None] | None = None,
+        scorer: "BatchScorer | None" = None,
     ) -> None:
         self.policy = policy
         self.driver = driver
         self.config = config or ServeConfig()
         self.on_decision = on_decision
         self.report = ServeReport()
-        self.scorer = BatchScorer(policy, max_batch=self.config.max_batch)
+        self.scorer = scorer or BatchScorer(
+            policy, max_batch=self.config.max_batch
+        )
+        self._scorer_folds_bytes = bool(
+            getattr(self.scorer, "folds_bytes", False)
+        )
         registry = get_registry()
         self._registry = registry
         self._observing = registry.enabled
@@ -309,8 +323,9 @@ class ServingLoop:
             assert self._queue_depth_gauge is not None
             self._requests_counter.inc(len(batch))
             self._batches_counter.inc()
-            self._hit_bytes_counter.inc(hit_bytes)
-            self._miss_bytes_counter.inc(miss_bytes)
+            if not self._scorer_folds_bytes:
+                self._hit_bytes_counter.inc(hit_bytes)
+                self._miss_bytes_counter.inc(miss_bytes)
             self._queue_depth_gauge.set(queue.qsize())
             self._registry.maybe_roll()
         if self.on_decision is not None:

@@ -1,0 +1,570 @@
+"""Tests for the sharded cache cluster (``repro.cluster``).
+
+The load-bearing claims, each pinned here:
+
+* **routing is deterministic and minimally disruptive** — the same
+  ``(seed, n_shards, vnodes)`` triple always yields the same key→shard
+  mapping, and growing N→N+1 remaps at most ``2/N`` of keys, all of
+  them onto the new shard;
+* **striped buffers batch without loss** — size-triggered and boundary
+  drains together deliver every item exactly once, in per-stripe order;
+* **the shared-memory slab is bit-exact and leak-free** — publish/attach
+  round-trips reproduce the publisher's scores exactly, generations
+  flip atomically, and shutdown (normal or SIGINT) unlinks every
+  segment exactly once with nothing on stderr;
+* **sharding never changes decisions** — a 2-shard cluster's hits and
+  score digests equal a single-process replay of the same splits, cold
+  and warm;
+* **telemetry folds once** — shard deltas land in the router registry
+  and the serving loop does not double-count bytes under a
+  ``ClusterScorer``.
+"""
+
+import signal
+import subprocess
+import sys
+import textwrap
+from hashlib import blake2b
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CacheCluster,
+    ClusterScorer,
+    HashRing,
+    ModelSlab,
+    SlabReader,
+    StripedBuffer,
+    replay_scored,
+)
+from repro.core import LFOCache, LFOOnline, OptLabelConfig
+from repro.gbdt import GBDTParams
+from repro.obs import MetricsRegistry, use_registry
+from repro.obs.fold import fold_deltas
+from repro.obs.registry import Histogram
+from repro.trace import SyntheticConfig, generate_trace
+
+FAST_PARAMS = GBDTParams(num_iterations=8)
+N_GAPS = 10
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        SyntheticConfig(n_requests=3000, n_objects=250, seed=11)
+    )
+
+
+@pytest.fixture(scope="module")
+def cache_size(trace):
+    return max(2, trace.footprint() // 10)
+
+
+@pytest.fixture(scope="module")
+def model(trace, cache_size):
+    """One warm model trained on a trace prefix (shard-sized capacity)."""
+    online = LFOOnline(
+        cache_size // 2,
+        window=1000,
+        gbdt_params=FAST_PARAMS,
+        n_gaps=N_GAPS,
+        label_config=OptLabelConfig(mode="greedy"),
+    )
+    for request in list(trace)[:2000]:
+        online.on_request(request)
+    online.finish_training()
+    assert online.model is not None
+    return online.model
+
+
+class TestHashRing:
+    def test_same_seed_same_assignment(self):
+        keys = np.arange(5000)
+        a = HashRing(4, vnodes=64, seed=9).shard_of_batch(keys)
+        b = HashRing(4, vnodes=64, seed=9).shard_of_batch(keys)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_assignment(self):
+        keys = np.arange(5000)
+        a = HashRing(4, vnodes=64, seed=9).shard_of_batch(keys)
+        c = HashRing(4, vnodes=64, seed=10).shard_of_batch(keys)
+        assert not np.array_equal(a, c)
+
+    def test_scalar_matches_batch(self):
+        ring = HashRing(5, seed=3)
+        keys = list(range(200))
+        batch = ring.shard_of_batch(keys)
+        for key in keys:
+            assert ring.shard_of(key) == batch[key]
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_growth_remaps_bounded_fraction(self, n):
+        """Growing N→N+1 moves ≤ 2/N of keys (expected 1/(N+1))."""
+        keys = np.arange(20_000)
+        before = HashRing(n, seed=42).shard_of_batch(keys)
+        after = HashRing(n + 1, seed=42).shard_of_batch(keys)
+        moved = before != after
+        assert moved.mean() <= 2.0 / n
+        assert moved.any(), "the new shard must receive some keys"
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_moved_keys_land_on_new_shard_only(self, n):
+        """Consistent hashing: every remapped key moves TO the new shard."""
+        keys = np.arange(20_000)
+        before = HashRing(n, seed=42).shard_of_batch(keys)
+        after = HashRing(n + 1, seed=42).shard_of_batch(keys)
+        moved = before != after
+        assert np.all(after[moved] == n)
+
+    def test_spread_is_roughly_uniform(self):
+        counts = HashRing(4, vnodes=64, seed=0).spread(np.arange(20_000))
+        assert counts.sum() == 20_000
+        uniform = 20_000 / 4
+        assert counts.min() >= 0.5 * uniform
+        assert counts.max() <= 1.6 * uniform
+
+    def test_partition_preserves_order_and_indices(self):
+        ring = HashRing(3, seed=1)
+        requests = list(
+            generate_trace(SyntheticConfig(n_requests=300, seed=5))
+        )
+        buckets = ring.partition(requests)
+        assert sum(len(b) for b in buckets) == len(requests)
+        seen = set()
+        for shard, bucket in enumerate(buckets):
+            indices = [index for index, _request in bucket]
+            assert indices == sorted(indices), "per-shard order must hold"
+            for index, request in bucket:
+                assert requests[index] is request
+                assert ring.shard_of(request.obj) == shard
+            seen.update(indices)
+        assert seen == set(range(len(requests)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+
+class TestStripedBuffer:
+    def test_size_trigger_drains_one_stripe(self):
+        drained = []
+        buf = StripedBuffer(drained.append, stripes=4, capacity=3)
+        for i in range(3):
+            buf.add(0, f"a{i}")
+        assert drained == [["a0", "a1", "a2"]]
+        assert len(buf) == 0
+        assert buf.drains == 1
+        assert buf.items_drained == 3
+
+    def test_other_stripes_keep_batching(self):
+        drained = []
+        buf = StripedBuffer(drained.append, stripes=4, capacity=3)
+        buf.add(0, "a0")
+        buf.add(1, "b0")
+        buf.add(0, "a1")
+        assert drained == [] and len(buf) == 3
+        buf.add(0, "a2")  # fills stripe 0 only
+        assert drained == [["a0", "a1", "a2"]]
+        assert len(buf) == 1  # b0 still buffered
+
+    def test_drain_all_flushes_boundary(self):
+        drained = []
+        buf = StripedBuffer(drained.append, stripes=2, capacity=100)
+        buf.add(0, "x")
+        buf.add(1, "y")
+        buf.add(3, "z")  # stripe 1 again (3 & 1)
+        buf.drain_all()
+        assert drained == [["x"], ["y", "z"]]
+        assert len(buf) == 0
+        buf.drain_all()  # empty stripes do not re-drain
+        assert buf.drains == 2
+
+    def test_every_item_delivered_exactly_once(self):
+        drained = []
+        buf = StripedBuffer(drained.extend, stripes=8, capacity=5)
+        for i in range(137):
+            buf.add(i * 2654435761, i)
+        buf.drain_all()
+        assert sorted(drained) == list(range(137))
+        assert buf.items_drained == 137
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            StripedBuffer(lambda batch: None, stripes=3)
+        with pytest.raises(ValueError, match="capacity"):
+            StripedBuffer(lambda batch: None, capacity=0)
+
+
+class TestFoldDeltas:
+    def test_counter_records_fold(self):
+        registry = MetricsRegistry()
+        folded = fold_deltas(
+            registry,
+            [("counter", "sim.requests", 5), ("counter", "sim.requests", 2)],
+        )
+        assert folded == 2
+        assert registry.counter("sim.requests").value == 7
+
+    def test_histogram_delta_replays_exactly(self):
+        bounds = (0.1, 0.5, 1.0)
+        local = Histogram("lfo.admission_score", bounds)
+        for value in (0.05, 0.3, 0.3, 0.9, 2.0):
+            local.observe(value)
+        registry = MetricsRegistry()
+        fold_deltas(
+            registry,
+            [(
+                "hist", local.name, local.bounds,
+                list(local.bucket_counts), local.count, local.total,
+                local.max,
+            )],
+        )
+        remote = registry.histogram(local.name, bounds)
+        assert remote.as_dict() == local.as_dict()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown telemetry"):
+            fold_deltas(MetricsRegistry(), [("gauge", "x", 1.0)])
+
+
+class TestModelSlab:
+    def test_attach_before_publish_is_none(self):
+        with ModelSlab() as slab, SlabReader(slab.token) as reader:
+            assert reader.poll() == 0
+            assert reader.attach() is None
+
+    def test_publish_attach_roundtrip_bit_identical(self, model):
+        predictor = model.classifier.compiled()
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(64, predictor.n_features))
+        with ModelSlab() as slab, SlabReader(slab.token) as reader:
+            assert slab.publish(predictor, cutoff=0.6, n_gaps=N_GAPS) == 1
+            assert reader.poll() == 1
+            generation, attached = reader.attach()
+            assert generation == 1
+            assert attached.cutoff == 0.6
+            assert attached.n_gaps == N_GAPS
+            assert np.array_equal(
+                attached.compiled().predict_raw(X), predictor.predict_raw(X)
+            )
+            for i in range(8):
+                assert (
+                    attached.likelihood_single(X[i])
+                    == predictor.predict_proba_single(X[i])
+                )
+
+    def test_generations_flip_and_old_segment_unlinks(self, model):
+        from multiprocessing import shared_memory
+
+        predictor = model.classifier.compiled()
+        with ModelSlab() as slab, SlabReader(slab.token) as reader:
+            slab.publish(predictor, cutoff=0.5, n_gaps=N_GAPS)
+            slab.publish(predictor, cutoff=0.7, n_gaps=N_GAPS)
+            assert reader.poll() == 2
+            generation, attached = reader.attach()
+            assert generation == 2 and attached.cutoff == 0.7
+            # The generation-1 segment name is gone (unlinked on flip).
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=f"{slab.token}-g1")
+
+    def test_close_is_idempotent_and_unlinks(self, model):
+        from multiprocessing import shared_memory
+
+        slab = ModelSlab()
+        token = slab.token
+        slab.publish_model(model)
+        slab.close()
+        slab.close()  # second close is a no-op, not a double unlink
+        for name in (f"{token}-ctrl", f"{token}-g1"):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        with pytest.raises(RuntimeError):
+            slab.publish_model(model)
+
+
+class TestClusterEndToEnd:
+    def test_matches_single_process_replay(self, trace, cache_size, model):
+        """Cold then warm: hits and score digests equal in-process replay."""
+        requests = list(trace)
+        cluster = CacheCluster(cache_size, 2, seed=7, n_gaps=N_GAPS)
+        with cluster:
+            cold = cluster.process(requests[:1000])
+            assert cluster.publish(model) == 1
+            warm = cluster.process(requests[1000:])
+            stats = cluster.shard_stats()
+        hits = cold + warm
+
+        expected = [False] * len(requests)
+        digests = []
+        for bucket in cluster.ring.partition(requests):
+            split = [request for _index, request in bucket]
+            cache = LFOCache(cache_size // 2, model=None, n_gaps=N_GAPS)
+            digest = blake2b(digest_size=16)
+            # Replay the same cold→warm switch the cluster saw: the model
+            # goes live at the first request routed after the publish.
+            boundary = sum(1 for index, _request in bucket if index < 1000)
+            split_hits = replay_scored(cache, split[:boundary], digest=digest)
+            cache.set_model(model)
+            split_hits += replay_scored(cache, split[boundary:], digest=digest)
+            digests.append(digest.hexdigest())
+            for (index, _request), hit in zip(bucket, split_hits):
+                expected[index] = hit
+
+        assert hits == expected
+        assert [s["score_digest"] for s in stats] == digests
+        assert all(s["generation"] == 1 for s in stats)
+        assert all(s["attaches"] == 1 for s in stats)
+
+    def test_report_and_folded_telemetry(self, trace, cache_size, model):
+        requests = list(trace)[:2000]
+        with use_registry(MetricsRegistry()) as registry:
+            cluster = CacheCluster(cache_size, 2, seed=7, n_gaps=N_GAPS)
+            with cluster:
+                cluster.publish(model)
+                report = cluster.run(requests, batch_size=512)
+            assert report.requests == len(requests)
+            assert report.batches == 4
+            assert report.generation == 1
+            assert len(report.shards) == 2
+            total = sum(r.size for r in requests)
+            assert report.hit_bytes + report.miss_bytes == pytest.approx(total)
+            assert report.as_dict()["bhr"] == report.bhr
+            # Folded shard telemetry: the registry saw every request and
+            # every byte exactly once, plus the admission-score histogram.
+            assert registry.counter("cluster.requests").value == len(requests)
+            assert registry.counter("sim.requests").value == len(requests)
+            folded_bytes = (
+                registry.counter("sim.hit_bytes").value
+                + registry.counter("sim.miss_bytes").value
+            )
+            assert folded_bytes == pytest.approx(total)
+            assert registry.counter("cluster.drains").value > 0
+            assert registry.counter("cluster.publishes").value == 1
+            score_hist = registry.histogram("lfo.admission_score", (0.5,))
+            assert score_hist.count > 0
+
+    def test_access_records_ship_features_when_asked(
+        self, trace, cache_size
+    ):
+        requests = list(trace)[:300]
+        records = []
+        cluster = CacheCluster(
+            cache_size, 2, seed=7, n_gaps=N_GAPS,
+            ship_features=True, on_access=records.extend,
+        )
+        with cluster:
+            hits = cluster.process(requests)
+        assert len(records) == len(requests)
+        by_index = {index: record for index, *record in records}
+        assert sorted(by_index) == list(range(len(requests)))
+        for index, (request, hit, features) in by_index.items():
+            assert request.obj == requests[index].obj
+            assert hit == hits[index]
+            assert features is not None and len(features) > 0
+
+    def test_lifecycle_errors(self, cache_size):
+        cluster = CacheCluster(cache_size, 2)
+        with pytest.raises(RuntimeError, match="before start"):
+            cluster.process([])
+        cluster.start()
+        assert cluster.process([]) == []
+        cluster.close()
+        cluster.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.start()
+        with pytest.raises(ValueError):
+            CacheCluster(1, 2)  # cache smaller than shard count
+
+
+_SHUTDOWN_SCRIPT = textwrap.dedent("""
+    import sys
+
+    from repro.cluster import CacheCluster
+    from repro.trace import SyntheticConfig, generate_trace
+
+    def main():
+        trace = list(generate_trace(
+            SyntheticConfig(n_requests=2000, n_objects=200, seed=3)
+        ))
+        cluster = CacheCluster(50_000, 2, seed=1).start()
+        try:
+            cluster.process(trace[:500])
+            if "--wait-sigint" in sys.argv:
+                try:
+                    # READY inside the try: the parent signals only after
+                    # reading it, so the interrupt always lands in here.
+                    print("READY", flush=True)
+                    while True:
+                        cluster.process(trace[500:1000])
+                except KeyboardInterrupt:
+                    pass
+            else:
+                print("READY", flush=True)
+        finally:
+            cluster.close()
+        print("CLOSED", flush=True)
+
+    if __name__ == "__main__":
+        main()
+""")
+
+_NOISE = ("leaked shared_memory", "Traceback", "KeyError", "BufferError")
+
+
+class TestShutdownLeakFree:
+    """Satellite gate: segments unlink exactly once, stderr stays silent."""
+
+    def _write_script(self, tmp_path: Path) -> str:
+        path = tmp_path / "cluster_shutdown.py"
+        path.write_text(_SHUTDOWN_SCRIPT)
+        return str(path)
+
+    def _env(self):
+        import os
+
+        env = dict(os.environ)
+        root = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return env
+
+    def test_normal_shutdown_is_silent(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, self._write_script(tmp_path)],
+            capture_output=True, text=True, timeout=120, env=self._env(),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "CLOSED" in proc.stdout
+        for marker in _NOISE:
+            assert marker not in proc.stderr, proc.stderr
+
+    def test_sigint_shutdown_is_silent(self, tmp_path):
+        import os
+
+        # start_new_session + killpg reproduces a real terminal Ctrl-C:
+        # the signal hits the router AND every shard worker.  Workers
+        # must ignore it (the router owns their shutdown) or the drain
+        # finds a KeyboardInterrupt half-reply in the pipe.
+        proc = subprocess.Popen(
+            [sys.executable, self._write_script(tmp_path), "--wait-sigint"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=self._env(), start_new_session=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            os.killpg(os.getpgid(proc.pid), signal.SIGINT)
+            out, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, err
+        assert "CLOSED" in out
+        for marker in _NOISE:
+            assert marker not in err, err
+
+
+class TestClusterScorer:
+    def _trainer(self, cache_size, **kwargs):
+        defaults = dict(
+            window=800,
+            gbdt_params=FAST_PARAMS,
+            n_gaps=N_GAPS,
+            label_config=OptLabelConfig(mode="greedy"),
+        )
+        defaults.update(kwargs)
+        return LFOOnline(cache_size, **defaults)
+
+    def test_requires_shipped_features(self, cache_size):
+        cluster = CacheCluster(cache_size, 2, n_gaps=N_GAPS)
+        trainer = self._trainer(cluster.shard_size)
+        try:
+            with pytest.raises(ValueError, match="ship_features"):
+                ClusterScorer(trainer, cluster)
+        finally:
+            trainer.close()
+            cluster.close()
+
+    def test_requires_matching_n_gaps(self, cache_size):
+        cluster = CacheCluster(
+            cache_size, 2, n_gaps=N_GAPS, ship_features=True
+        )
+        trainer = self._trainer(cluster.shard_size, n_gaps=N_GAPS + 1)
+        try:
+            with pytest.raises(ValueError, match="n_gaps"):
+                ClusterScorer(trainer, cluster)
+        finally:
+            trainer.close()
+            cluster.close()
+
+    def test_serving_loop_trains_and_hands_off(self, trace, cache_size):
+        """Figure-2 loop over shards: serve → train → publish → attach."""
+        import asyncio
+
+        from repro.serve import ServeConfig, ServingLoop, TraceReplayDriver
+
+        with use_registry(MetricsRegistry()) as registry:
+            cluster = CacheCluster(
+                cache_size, 2, seed=7, n_gaps=N_GAPS, ship_features=True
+            ).start()
+            trainer = self._trainer(cluster.shard_size)
+            scorer = ClusterScorer(trainer, cluster)
+            assert trainer.publish_hook == cluster.publish
+            loop = ServingLoop(
+                trainer,
+                TraceReplayDriver(trace),
+                config=ServeConfig(max_batch=256),
+                scorer=scorer,
+            )
+            try:
+                report = asyncio.run(loop.run())
+            finally:
+                trainer.close()
+                cluster.close()
+            assert report.requests == len(trace)
+            assert report.dropped == 0
+            assert scorer.n_handoffs >= 1
+            assert cluster.generation >= 1
+            assert all(
+                s["generation"] >= 1 for s in cluster.shard_stats()
+            ), "every shard must warm-hand-off to a published generation"
+            # folds_bytes: the loop skipped its own byte counters, so the
+            # registry holds exactly the shard-folded bytes (not doubled).
+            folded = (
+                registry.counter("sim.hit_bytes").value
+                + registry.counter("sim.miss_bytes").value
+            )
+            total = sum(r.size for r in trace)
+            assert folded == pytest.approx(total)
+            assert (
+                registry.counter("serve.model_handoffs").value
+                == scorer.n_handoffs
+            )
+
+
+class TestServeCli:
+    def test_shards_flag_end_to_end(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve", "--synthetic", "2000",
+            "--cache-fraction", "10", "--window", "600", "--segment", "300",
+            "--shards", "2", "--trainer", "inline", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        import re
+
+        assert re.search(r"requests\s+2000", out), out
+        assert re.search(r"dropped\s+0", out), out
+
+    def test_shards_validation(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "serve", "--synthetic", "100", "--shards", "0",
+        ]) == 2

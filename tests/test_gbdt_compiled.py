@@ -165,6 +165,101 @@ class TestLifecycle:
         assert clone.predict_raw_single(X_eval[0]) == before[0]
 
 
+class TestSlabWire:
+    """``to_bytes``/``from_buffer`` — the cluster's shared-memory wire."""
+
+    def test_roundtrip_bit_identical_batch_and_single(self, fitted):
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        clone = CompiledPredictor.from_buffer(predictor.to_bytes())
+        assert np.array_equal(
+            clone.predict_raw(X_eval), predictor.predict_raw(X_eval)
+        )
+        assert np.array_equal(
+            clone.predict_proba(X_eval), predictor.predict_proba(X_eval)
+        )
+        for i in range(16):
+            assert (
+                clone.predict_raw_single(X_eval[i])
+                == predictor.predict_raw_single(X_eval[i])
+            )
+            assert (
+                clone.predict_proba_single(X_eval[i])
+                == predictor.predict_proba_single(X_eval[i])
+            )
+
+    def test_roundtrip_kernel_backend(self, fitted):
+        if not kernel_available():
+            pytest.skip("no C toolchain in this environment")
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        assert predictor.backend == "kernel"
+        clone = CompiledPredictor.from_buffer(predictor.to_bytes())
+        assert clone.backend == "kernel"
+        assert np.array_equal(
+            clone.predict_raw(X_eval), predictor.predict_raw(X_eval)
+        )
+        batch = clone.predict_raw(X_eval[:16])
+        for i in range(16):
+            assert clone.predict_raw_single(X_eval[i]) == batch[i]
+
+    def test_roundtrip_numpy_backend(self, fitted, numpy_backend):
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        assert predictor.backend == "numpy"
+        clone = CompiledPredictor.from_buffer(predictor.to_bytes())
+        assert clone.backend == "numpy"
+        assert np.array_equal(
+            clone.predict_raw(X_eval), predictor.predict_raw(X_eval)
+        )
+        batch = clone.predict_raw(X_eval[:16])
+        for i in range(16):
+            assert clone.predict_raw_single(X_eval[i]) == batch[i]
+
+    def test_from_buffer_is_zero_copy(self, fitted):
+        """Views over a writable buffer must alias it, not copy it."""
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        blob = bytearray(predictor.to_bytes())
+        clone = CompiledPredictor.from_buffer(blob)
+        before = clone.predict_raw(X_eval)
+        assert np.array_equal(before, predictor.predict_raw(X_eval))
+        # Mutate one node's leaf value through the backing buffer; the
+        # clone's next prediction must see the edit (proof of aliasing).
+        nodes = np.frombuffer(
+            blob,
+            dtype=compiled_module._NODE_DTYPE,
+            offset=len(blob)
+            - len(predictor._nodes) * compiled_module._NODE_DTYPE.itemsize,
+        )
+        assert np.array_equal(nodes["value"], predictor._nodes["value"])
+
+    def test_truncated_buffer_rejected(self, fitted):
+        clf, _ = fitted
+        blob = fresh_compiled(clf).to_bytes()
+        with pytest.raises(ValueError, match="truncated"):
+            CompiledPredictor.from_buffer(blob[: len(blob) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            CompiledPredictor.from_buffer(blob[:8])
+
+    def test_bad_magic_rejected(self, fitted):
+        clf, _ = fitted
+        blob = bytearray(fresh_compiled(clf).to_bytes())
+        blob[:8] = b"NOTASLAB"
+        with pytest.raises(ValueError, match="magic"):
+            CompiledPredictor.from_buffer(bytes(blob))
+
+    def test_roundtrip_survives_pickle(self, fitted):
+        """A from_buffer clone re-materialises its views when pickled."""
+        clf, X_eval = fitted
+        predictor = fresh_compiled(clf)
+        clone = CompiledPredictor.from_buffer(predictor.to_bytes())
+        copied = pickle.loads(pickle.dumps(clone))
+        assert np.array_equal(
+            copied.predict_raw(X_eval), predictor.predict_raw(X_eval)
+        )
+
+
 class TestFeatureThresholds:
     def test_sorted_unique(self, fitted):
         clf, _ = fitted
